@@ -1,0 +1,416 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (run with `go test -bench=. -benchmem`), plus ablation
+// benches for the design choices DESIGN.md calls out and micro-benchmarks
+// of the hot paths. Each table/figure bench reports its headline numbers
+// as custom benchmark metrics so the paper-vs-measured comparison appears
+// directly in the benchmark output.
+package exiot_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"exiot/internal/experiments"
+	"exiot/internal/features"
+	"exiot/internal/ml"
+	"exiot/internal/packet"
+	"exiot/internal/simnet"
+	"exiot/internal/trw"
+)
+
+// benchEnv is shared across table benches: building it runs the full
+// pipeline over a simulated day and dominates setup cost.
+var (
+	benchEnvOnce sync.Once
+	benchEnvVal  *experiments.Env
+	benchEnvErr  error
+)
+
+func benchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchEnvOnce.Do(func() {
+		scale := experiments.QuickScale(2021)
+		scale.Infected = 500
+		scale.NonIoT = 90
+		scale.Days = 2
+		benchEnvVal, benchEnvErr = experiments.NewEnv(scale)
+	})
+	if benchEnvErr != nil {
+		b.Fatal(benchEnvErr)
+	}
+	return benchEnvVal
+}
+
+// BenchmarkTableIIIVolume regenerates Table III (feed volumes).
+func BenchmarkTableIIIVolume(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	var r experiments.TableIIIResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.TableIII(env)
+	}
+	b.ReportMetric(r.Rows[0].AllPerDay, "exiot-all/day")
+	b.ReportMetric(r.AllRatioGN, "all-ratio-vs-GN(paper=3.5)")
+	b.ReportMetric(r.IoTRatioGN, "iot-ratio-vs-GN(paper=7.1)")
+}
+
+// BenchmarkTableIVContribution regenerates Table IV (differential and
+// exclusive contribution).
+func BenchmarkTableIVContribution(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	var r experiments.TableIVResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.TableIV(env)
+	}
+	for _, row := range r.Rows {
+		switch row.FeedName {
+		case "GreyNoise":
+			b.ReportMetric(row.Differential, "diff-GN(paper=0.790)")
+		case "DShield":
+			b.ReportMetric(row.Differential, "diff-DS(paper=0.936)")
+		}
+	}
+	b.ReportMetric(r.Uniq, "uniq(paper=0.766)")
+}
+
+// BenchmarkTableVSnapshot regenerates Table V (infection snapshot).
+func BenchmarkTableVSnapshot(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	var r experiments.TableVResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.TableV(env)
+	}
+	if len(r.Countries) > 0 {
+		b.ReportMetric(r.Countries[0].Pct, "top-country-pct(paper=43.5-CN)")
+	}
+	if len(r.Ports) > 0 {
+		b.ReportMetric(r.Ports[0].Pct, "top-port-pct(paper=43.3-telnet)")
+	}
+	b.ReportMetric(float64(r.Instances), "instances")
+}
+
+// BenchmarkLatency regenerates the §V-B controlled-scan latency
+// experiment. Each iteration runs a dedicated small deployment.
+func BenchmarkLatency(b *testing.B) {
+	scale := experiments.QuickScale(2022)
+	scale.Infected = 120
+	scale.NonIoT = 25
+	var r experiments.LatencyResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Latency(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if r.Found {
+		b.ReportMetric(r.FeedLatency.Hours(), "feed-latency-h(paper=5.2)")
+		b.ReportMetric(r.StartError.Seconds(), "start-err-s(paper=24)")
+		b.ReportMetric(r.EndError.Minutes(), "end-err-m(paper=13)")
+	}
+}
+
+// BenchmarkAccuracyCoverage regenerates the §V-B precision/coverage
+// measurement.
+func BenchmarkAccuracyCoverage(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	var r experiments.AccuracyResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Accuracy(env)
+		if err != nil {
+			b.Skip(err)
+		}
+	}
+	b.ReportMetric(100*r.Precision, "precision-pct(paper=94.6)")
+	b.ReportMetric(100*r.Coverage, "coverage-pct(paper=77.2)")
+}
+
+// BenchmarkValidation regenerates the §V-A cross-validation.
+func BenchmarkValidation(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	var r experiments.ValidationResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Validation(env)
+	}
+	b.ReportMetric(100*r.OverallRate, "validated-pct(paper=70)")
+	if r.CzechIndicators > 0 {
+		b.ReportMetric(100*r.CzechRate, "cz-validated-pct(paper=83)")
+	}
+}
+
+// BenchmarkModelSelection regenerates the RF/SVM/GNB comparison.
+func BenchmarkModelSelection(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	var r experiments.ModelSelectionResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.ModelSelection(env)
+		if err != nil {
+			b.Skip(err)
+		}
+	}
+	for _, row := range r.Rows {
+		switch row.Name {
+		case "RandomForest":
+			b.ReportMetric(row.AUC, "rf-auc")
+		case "LinearSVM":
+			b.ReportMetric(row.AUC, "svm-auc")
+		case "GaussianNB":
+			b.ReportMetric(row.AUC, "gnb-auc")
+		}
+	}
+}
+
+// BenchmarkFlowDetection regenerates the throughput figure: one hour of
+// telescope traffic through the backscatter filter + TRW detector.
+func BenchmarkFlowDetection(b *testing.B) {
+	scale := experiments.QuickScale(2023)
+	var r experiments.ThroughputResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Throughput(scale)
+	}
+	b.ReportMetric(r.PacketsPerSec, "pkts/s")
+	b.ReportMetric(r.SpeedupVsRealtime, "x-realtime")
+}
+
+// BenchmarkBannerAvailability regenerates the §VI limitation measurement.
+func BenchmarkBannerAvailability(b *testing.B) {
+	scale := experiments.QuickScale(2024)
+	scale.Infected = 2000
+	var r experiments.BannerAvailabilityResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.BannerAvailability(scale)
+	}
+	b.ReportMetric(100*float64(r.ReturningBanner)/float64(r.Infected), "banner-pct(paper<10)")
+	b.ReportMetric(100*float64(r.TextualBanner)/float64(r.Infected), "textual-pct(paper=3)")
+}
+
+// --- ablation benches (design choices from DESIGN.md) ---
+
+// BenchmarkAblationTRWThreshold sweeps the TRW operating point.
+func BenchmarkAblationTRWThreshold(b *testing.B) {
+	scale := experiments.QuickScale(2025)
+	var r experiments.TRWAblationResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationTRW(scale)
+	}
+	for _, row := range r.Rows {
+		if row.Threshold == 100 && row.MinDuration == time.Minute {
+			b.ReportMetric(float64(row.ScannersFound), "scanners@paper-op")
+			b.ReportMetric(float64(row.MisconfigCaught), "misconfig@paper-op")
+		}
+	}
+}
+
+// BenchmarkAblationSampleSize sweeps the 200-packet sample size.
+func BenchmarkAblationSampleSize(b *testing.B) {
+	scale := experiments.QuickScale(2026)
+	var r experiments.SampleSizeAblationResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationSampleSize(scale)
+	}
+	for _, row := range r.Rows {
+		if row.SampleSize == 200 {
+			b.ReportMetric(row.AUC, "auc@200")
+		}
+		if row.SampleSize == 25 {
+			b.ReportMetric(row.AUC, "auc@25")
+		}
+	}
+}
+
+// BenchmarkAblationFeatureSet sweeps feature subsets.
+func BenchmarkAblationFeatureSet(b *testing.B) {
+	scale := experiments.QuickScale(2027)
+	var r experiments.FeatureSetAblationResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationFeatureSet(scale)
+	}
+	for _, row := range r.Rows {
+		switch row.Name {
+		case "full (120)":
+			b.ReportMetric(row.AUC, "auc-full")
+		case "ports-only":
+			b.ReportMetric(row.AUC, "auc-ports-only")
+		}
+	}
+}
+
+// BenchmarkAblationForestSize sweeps the ensemble size.
+func BenchmarkAblationForestSize(b *testing.B) {
+	scale := experiments.QuickScale(2028)
+	var r experiments.ForestSizeAblationResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationForestSize(scale)
+	}
+	for _, row := range r.Rows {
+		if row.Trees == 100 {
+			b.ReportMetric(row.AUC, "auc@100trees")
+		}
+	}
+}
+
+// BenchmarkAblationTrainingWindow sweeps the retrain window.
+func BenchmarkAblationTrainingWindow(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	var r experiments.WindowAblationResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationTrainingWindow(env)
+	}
+	if len(r.Rows) > 0 {
+		b.ReportMetric(r.Rows[len(r.Rows)-1].AUC, "auc-longest-window")
+	}
+}
+
+// --- micro-benchmarks of the hot paths ---
+
+// BenchmarkPacketMarshal measures the wire codec's encode path.
+func BenchmarkPacketMarshal(b *testing.B) {
+	p := packet.Packet{
+		Proto: packet.TCP, SrcIP: 0x01020304, DstIP: 0x0a000001,
+		SrcPort: 44123, DstPort: 23, Seq: 12345, Flags: packet.FlagSYN,
+		Window: 5840, TTL: 48,
+		Options: packet.TCPOptions{HasMSS: true, MSS: 1460, NOP: true},
+	}
+	p.Normalize()
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = p.Marshal(buf[:0])
+	}
+	_ = buf
+}
+
+// BenchmarkPacketUnmarshal measures the wire codec's decode path.
+func BenchmarkPacketUnmarshal(b *testing.B) {
+	p := packet.Packet{
+		Proto: packet.TCP, SrcIP: 0x01020304, DstIP: 0x0a000001,
+		SrcPort: 44123, DstPort: 23, Seq: 12345, Flags: packet.FlagSYN,
+		Window: 5840, TTL: 48,
+		Options: packet.TCPOptions{HasMSS: true, MSS: 1460, NOP: true},
+	}
+	p.Normalize()
+	buf := p.Marshal(nil)
+	var q packet.Packet
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTRWProcess measures per-packet detector cost on a realistic
+// packet mix.
+func BenchmarkTRWProcess(b *testing.B) {
+	cfg := simnet.DefaultConfig(2030)
+	cfg.NumInfected = 100
+	cfg.NumNonIoT = 20
+	cfg.MaxPacketsPerHostHour = 2000
+	w := simnet.NewWorld(cfg)
+	pkts := w.GenerateHour(w.Start())
+	if len(pkts) == 0 {
+		b.Fatal("no packets")
+	}
+	det := trw.NewDetector(trw.Default(), func(trw.Event) {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Process(&pkts[i%len(pkts)])
+	}
+}
+
+// BenchmarkFeatureExtraction measures the 120-dim flow-vector build.
+func BenchmarkFeatureExtraction(b *testing.B) {
+	cfg := simnet.DefaultConfig(2031)
+	cfg.NumInfected = 5
+	cfg.NumNonIoT = 0
+	cfg.NumMisconfig = 0
+	cfg.NumBackscat = 0
+	w := simnet.NewWorld(cfg)
+	pkts := w.GenerateHour(w.Start())
+	if len(pkts) < 200 {
+		b.Fatal("not enough packets")
+	}
+	sample := pkts[:200]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := features.RawVector(sample); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForestPredict measures single-flow classification cost.
+func BenchmarkForestPredict(b *testing.B) {
+	var ds ml.Dataset
+	for i := 0; i < 400; i++ {
+		x := make([]float64, features.Dim)
+		for j := range x {
+			x[j] = float64((i*j)%97) / 97
+			if i%2 == 1 {
+				x[j] += 1.5
+			}
+		}
+		ds.Append(x, i%2)
+	}
+	forest := ml.TrainForest(&ds, ml.ForestConfig{NumTrees: 100, Seed: 1})
+	x := ds.X[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		forest.PredictProba(x)
+	}
+}
+
+// BenchmarkWorldGeneration measures traffic synthesis for one hour.
+func BenchmarkWorldGeneration(b *testing.B) {
+	cfg := simnet.DefaultConfig(2032)
+	cfg.NumInfected = 100
+	cfg.NumNonIoT = 20
+	w := simnet.NewWorld(cfg)
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = len(w.GenerateHour(w.Start()))
+	}
+	b.ReportMetric(float64(n), "pkts/hour")
+}
+
+// BenchmarkCampaignInference regenerates the campaign-analysis extension.
+func BenchmarkCampaignInference(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	var r experiments.CampaignResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Campaigns(env)
+	}
+	b.ReportMetric(float64(len(r.Campaigns)), "campaigns")
+	b.ReportMetric(r.FamilyPurity, "family-purity")
+}
+
+// BenchmarkAdaptivity regenerates the emerging-botnet experiment. Each
+// iteration runs a dedicated multi-day deployment.
+func BenchmarkAdaptivity(b *testing.B) {
+	scale := experiments.QuickScale(2033)
+	scale.Infected = 200
+	scale.NonIoT = 40
+	var r experiments.AdaptivityResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.Adaptivity(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.FirstDayRate, "emergence-day-iot-rate")
+	b.ReportMetric(r.LastDayRate, "final-day-iot-rate")
+}

@@ -1,0 +1,149 @@
+// Command exiotctl queries an eX-IoT feed server's REST API.
+//
+// Usage:
+//
+//	exiotctl -server http://127.0.0.1:8080 -key dev-key snapshot
+//	exiotctl records -label IoT -country CN -limit 20
+//	exiotctl record 203.0.113.7
+//	exiotctl stats ports
+//	exiotctl campaigns
+//	exiotctl export > feed.ndjson
+//	exiotctl alert -prefix 198.51.100.0/24 -email soc@example.org
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+)
+
+func main() {
+	var (
+		server = flag.String("server", "http://127.0.0.1:8080", "feed server base URL")
+		key    = flag.String("key", "dev-key", "API key")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: exiotctl [flags] snapshot|records|record <ip>|stats <kind>|campaigns|export|alert")
+		os.Exit(2)
+	}
+	if err := run(*server, *key, flag.Args()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(server, key string, args []string) error {
+	c := client{base: strings.TrimRight(server, "/"), key: key}
+	switch args[0] {
+	case "snapshot":
+		return c.get("/api/v1/snapshot", nil)
+	case "records":
+		fs := flag.NewFlagSet("records", flag.ExitOnError)
+		label := fs.String("label", "", "IoT or non-IoT")
+		country := fs.String("country", "", "country code")
+		asn := fs.String("asn", "", "autonomous system number")
+		active := fs.String("active", "", "true/false")
+		prefix := fs.String("prefix", "", "CIDR filter")
+		limit := fs.String("limit", "20", "max records")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		q := url.Values{}
+		for k, v := range map[string]string{
+			"label": *label, "country": *country, "asn": *asn,
+			"active": *active, "prefix": *prefix, "limit": *limit,
+		} {
+			if v != "" {
+				q.Set(k, v)
+			}
+		}
+		return c.get("/api/v1/records", q)
+	case "record":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: exiotctl record <ip>")
+		}
+		return c.get("/api/v1/records/"+args[1], nil)
+	case "campaigns":
+		return c.get("/api/v1/campaigns", nil)
+	case "export":
+		return c.get("/api/v1/export", nil)
+	case "stats":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: exiotctl stats countries|ports|vendors")
+		}
+		return c.get("/api/v1/stats/"+args[1], nil)
+	case "alert":
+		fs := flag.NewFlagSet("alert", flag.ExitOnError)
+		prefix := fs.String("prefix", "", "IP block to watch (CIDR)")
+		email := fs.String("email", "", "notification address")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		if *prefix == "" || *email == "" {
+			return fmt.Errorf("alert requires -prefix and -email")
+		}
+		body, err := json.Marshal(map[string]string{"prefix": *prefix, "email": *email})
+		if err != nil {
+			return err
+		}
+		return c.post("/api/v1/alerts", body)
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+type client struct {
+	base string
+	key  string
+}
+
+func (c client) get(path string, q url.Values) error {
+	u := c.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req)
+}
+
+func (c client) post(path string, body []byte) error {
+	req, err := http.NewRequest(http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req)
+}
+
+func (c client) do(req *http.Request) error {
+	req.Header.Set("X-API-Key", c.key)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	// Pretty-print JSON when possible.
+	var pretty bytes.Buffer
+	if json.Indent(&pretty, raw, "", "  ") == nil {
+		raw = pretty.Bytes()
+	}
+	fmt.Println(string(raw))
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("server returned %s", resp.Status)
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// apiStub records requests and serves canned JSON.
+type apiStub struct {
+	lastPath  string
+	lastQuery string
+	lastKey   string
+	lastBody  string
+}
+
+func (a *apiStub) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		a.lastPath = r.URL.Path
+		a.lastQuery = r.URL.RawQuery
+		a.lastKey = r.Header.Get("X-API-Key")
+		if r.Body != nil {
+			b, _ := io.ReadAll(r.Body)
+			a.lastBody = string(b)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	})
+}
+
+func TestCtlCommands(t *testing.T) {
+	stub := &apiStub{}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	cases := []struct {
+		args      []string
+		wantPath  string
+		wantQuery string
+	}{
+		{[]string{"snapshot"}, "/api/v1/snapshot", ""},
+		{[]string{"records", "-label", "IoT", "-country", "CN"}, "/api/v1/records", "country=CN&label=IoT&limit=20"},
+		{[]string{"record", "1.2.3.4"}, "/api/v1/records/1.2.3.4", ""},
+		{[]string{"stats", "ports"}, "/api/v1/stats/ports", ""},
+		{[]string{"campaigns"}, "/api/v1/campaigns", ""},
+		{[]string{"export"}, "/api/v1/export", ""},
+	}
+	for _, c := range cases {
+		if err := run(ts.URL, "test-key", c.args); err != nil {
+			t.Fatalf("%v: %v", c.args, err)
+		}
+		if stub.lastPath != c.wantPath {
+			t.Errorf("%v: path = %q, want %q", c.args, stub.lastPath, c.wantPath)
+		}
+		if stub.lastQuery != c.wantQuery {
+			t.Errorf("%v: query = %q, want %q", c.args, stub.lastQuery, c.wantQuery)
+		}
+		if stub.lastKey != "test-key" {
+			t.Errorf("%v: key = %q", c.args, stub.lastKey)
+		}
+	}
+}
+
+func TestCtlAlert(t *testing.T) {
+	stub := &apiStub{}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+	err := run(ts.URL, "k", []string{"alert", "-prefix", "198.51.100.0/24", "-email", "soc@example.org"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stub.lastPath != "/api/v1/alerts" {
+		t.Errorf("path = %q", stub.lastPath)
+	}
+	if !strings.Contains(stub.lastBody, "198.51.100.0/24") || !strings.Contains(stub.lastBody, "soc@example.org") {
+		t.Errorf("body = %q", stub.lastBody)
+	}
+	// Missing flags are rejected client-side.
+	if err := run(ts.URL, "k", []string{"alert"}); err == nil {
+		t.Error("alert without flags accepted")
+	}
+}
+
+func TestCtlErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusUnauthorized)
+		w.Write([]byte(`{"error":"nope"}`))
+	}))
+	defer ts.Close()
+	if err := run(ts.URL, "bad", []string{"snapshot"}); err == nil {
+		t.Error("4xx response should surface as error")
+	}
+	if err := run(ts.URL, "k", []string{"unknown-cmd"}); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if err := run(ts.URL, "k", []string{"record"}); err == nil {
+		t.Error("record without ip accepted")
+	}
+	if err := run(ts.URL, "k", []string{"stats"}); err == nil {
+		t.Error("stats without kind accepted")
+	}
+}

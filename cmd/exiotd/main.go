@@ -1,0 +1,141 @@
+// Command exiotd is the eX-IoT feed server of Fig. 2: it receives sampled
+// flows from the CAIDA-side flowsampler (or runs a self-contained
+// simulation), drives the scan/annotate/update-classifier modules,
+// maintains the three databases, and serves the authenticated REST API.
+//
+// Split deployment (with cmd/telescopegen + cmd/flowsampler):
+//
+//	exiotd -listen 127.0.0.1:9410 -api 127.0.0.1:8080 -seed 42
+//
+// Self-contained simulation:
+//
+//	exiotd -simulate -hours 24 -api 127.0.0.1:8080 -seed 42
+//
+// In split mode the world is rebuilt from the same seed and population
+// flags used by telescopegen so active probes are answered by the same
+// simulated Internet that produced the captures (in a real deployment the
+// prober is the Internet itself).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"exiot/internal/api"
+	"exiot/internal/notify"
+	"exiot/internal/pipeline"
+	"exiot/internal/simnet"
+	"exiot/internal/wire"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:9410", "wire address to receive sampler events on")
+		apiAddr  = flag.String("api", "127.0.0.1:8080", "REST API listen address")
+		apiKey   = flag.String("key", "dev-key", "API key to provision")
+		simulate = flag.Bool("simulate", false, "run a self-contained simulation instead of receiving")
+		hours    = flag.Int("hours", 24, "simulated hours with -simulate")
+		seed     = flag.Int64("seed", 42, "world seed (must match telescopegen in split mode)")
+
+		infected  = flag.Int("infected", 300, "infected IoT devices (world rebuild)")
+		nonIoT    = flag.Int("noniot", 60, "non-IoT scanning hosts (world rebuild)")
+		research  = flag.Int("research", 6, "research scanners (world rebuild)")
+		misconfig = flag.Int("misconfig", 40, "misconfigured nodes (world rebuild)")
+		backscat  = flag.Int("backscatter", 10, "backscatter sources (world rebuild)")
+		whois     = flag.Bool("notify-whois", false, "send WHOIS abuse-contact notifications")
+		modelDir  = flag.String("models", "", "model archive directory (archive daily models; restore latest on start)")
+	)
+	flag.Parse()
+	if err := run(*listen, *apiAddr, *apiKey, *simulate, *hours, *seed,
+		*infected, *nonIoT, *research, *misconfig, *backscat, *whois, *modelDir); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(listen, apiAddr, apiKey string, simulate bool, hours int, seed int64,
+	infected, nonIoT, research, misconfig, backscat int, whois bool, modelDir string) error {
+	wcfg := simnet.DefaultConfig(seed)
+	wcfg.NumInfected = infected
+	wcfg.NumNonIoT = nonIoT
+	wcfg.NumResearch = research
+	wcfg.NumMisconfig = misconfig
+	wcfg.NumBackscat = backscat
+	wcfg.Days = (hours + 23) / 24
+	if wcfg.Days < 1 {
+		wcfg.Days = 1
+	}
+	w := simnet.NewWorld(wcfg)
+
+	mailer := &notify.MemoryMailer{}
+	pcfg := pipeline.DefaultLocalConfig()
+	pcfg.Server.Notify = notify.Config{NotifyWhois: whois}
+	pcfg.Server.Trainer.ModelDir = modelDir
+
+	var source *pipeline.Server
+	if simulate {
+		local := pipeline.NewLocal(pcfg, w, w.Registry(), mailer)
+		start := time.Now()
+		for h := 0; h < hours; h++ {
+			hour := w.Start().Add(time.Duration(h) * time.Hour)
+			local.ProcessHour(w.GenerateHour(hour), hour)
+		}
+		local.Finish(w.Start().Add(time.Duration(hours) * time.Hour))
+		c := local.Server().Counters()
+		fmt.Printf("simulated %d h in %v: %d records, %d banner labels, %d retrains, %d emails\n",
+			hours, time.Since(start).Round(time.Millisecond),
+			c.RecordsCreated, c.BannersLabeled, c.ModelRetrains, c.EmailsSent)
+		source = local.Server()
+	} else {
+		server := pipeline.NewServer(pcfg.Server, w, w.Registry(), mailer)
+		source = server
+		if modelDir != "" {
+			if err := server.RestoreModel(modelDir); err != nil {
+				return fmt.Errorf("restore model: %w", err)
+			}
+			if m := server.LastModel(); m != nil {
+				fmt.Printf("restored model trained %s (AUC %.3f)\n", m.TrainedAt.Format(time.RFC3339), m.AUC)
+			}
+		}
+		recv, err := wire.NewReceiver(listen, func(f wire.Frame) {
+			e, err := pipeline.DecodeEvent(f)
+			if err != nil {
+				log.Printf("decode frame: %v", err)
+				return
+			}
+			// In split mode events carry their own (simulated) times; the
+			// feed stamps them with the configured pipeline delay.
+			availableAt := eventTime(e).Add(pcfg.CollectionDelay).Add(pcfg.ProcessingDelay)
+			server.HandleEvent(e, availableAt)
+		})
+		if err != nil {
+			return err
+		}
+		defer recv.Close()
+		fmt.Printf("receiving sampler events on %s\n", recv.Addr())
+	}
+
+	apiSrv := api.NewServer(source, source.Notifier())
+	apiSrv.AddKey(apiKey, "cli-provisioned")
+	fmt.Printf("REST API on http://%s (key: %s)\n", apiAddr, apiKey)
+	return http.ListenAndServe(apiAddr, apiSrv)
+}
+
+// eventTime extracts the simulated instant an event was produced.
+func eventTime(e pipeline.SamplerEvent) time.Time {
+	switch e.Kind {
+	case pipeline.SamplerBatch:
+		if n := len(e.Batch.Sample); n > 0 {
+			return e.Batch.Sample[n-1].Timestamp
+		}
+		return e.Batch.DetectedAt
+	case pipeline.SamplerFlowEnd:
+		return e.LastSeen
+	case pipeline.SamplerReport:
+		return e.Report.Second
+	default:
+		return time.Time{}
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"exiot/internal/organizer"
+	"exiot/internal/packet"
+	"exiot/internal/pipeline"
+	"exiot/internal/trw"
+)
+
+func TestEventTime(t *testing.T) {
+	t0 := time.Date(2020, 12, 9, 7, 0, 0, 0, time.UTC)
+	sample := []packet.Packet{
+		{Timestamp: t0},
+		{Timestamp: t0.Add(time.Minute)},
+	}
+	cases := []struct {
+		name string
+		e    pipeline.SamplerEvent
+		want time.Time
+	}{
+		{
+			"batch uses last packet",
+			pipeline.SamplerEvent{Kind: pipeline.SamplerBatch, Batch: &organizer.Batch{Sample: sample, DetectedAt: t0}},
+			t0.Add(time.Minute),
+		},
+		{
+			"empty batch falls back to detection",
+			pipeline.SamplerEvent{Kind: pipeline.SamplerBatch, Batch: &organizer.Batch{DetectedAt: t0}},
+			t0,
+		},
+		{
+			"flow end uses last seen",
+			pipeline.SamplerEvent{Kind: pipeline.SamplerFlowEnd, LastSeen: t0.Add(time.Hour)},
+			t0.Add(time.Hour),
+		},
+		{
+			"report uses its second",
+			pipeline.SamplerEvent{Kind: pipeline.SamplerReport, Report: &trw.SecondReport{Second: t0}},
+			t0,
+		},
+		{
+			"unknown kind is zero",
+			pipeline.SamplerEvent{Kind: 99},
+			time.Time{},
+		},
+	}
+	for _, c := range cases {
+		if got := eventTime(c.e); !got.Equal(c.want) {
+			t.Errorf("%s: eventTime = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

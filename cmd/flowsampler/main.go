@@ -1,0 +1,131 @@
+// Command flowsampler is the CAIDA-side binary of Fig. 2: it polls a
+// directory for newly published hourly telescope captures, runs the
+// backscatter filter + TRW scan detector + packet sampler over each hour,
+// and ships sampled flows, flow-end messages, and per-second reports to
+// the eX-IoT feed server over the lossless wire transport (the socat +
+// SSH-tunnel substitute).
+//
+// Usage:
+//
+//	flowsampler -in captures/ -connect 127.0.0.1:9410
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"time"
+
+	"exiot/internal/packet"
+	"exiot/internal/pcapio"
+	"exiot/internal/pipeline"
+	"exiot/internal/trw"
+	"exiot/internal/wire"
+)
+
+func main() {
+	var (
+		in         = flag.String("in", "captures", "directory of hourly pcap.gz captures")
+		connect    = flag.String("connect", "127.0.0.1:9410", "feed-server wire address")
+		follow     = flag.Bool("follow", false, "keep polling for newly published hours")
+		pollEvery  = flag.Duration("poll", 5*time.Second, "poll interval with -follow")
+		threshold  = flag.Int("threshold", 100, "TRW detection threshold (packets)")
+		sampleSize = flag.Int("sample", 200, "post-detection sample size (packets)")
+	)
+	flag.Parse()
+	if err := run(*in, *connect, *follow, *pollEvery, *threshold, *sampleSize); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(in, connect string, follow bool, pollEvery time.Duration, threshold, sampleSize int) error {
+	sender := wire.NewSender(connect)
+	defer sender.Close()
+
+	var sendErr error
+	cfg := trw.Default()
+	cfg.DetectionThreshold = threshold
+	cfg.SampleSize = sampleSize
+	sampler := pipeline.NewSampler(cfg, 0, func(e pipeline.SamplerEvent) {
+		kind, data, err := pipeline.EncodeEvent(e)
+		if err != nil {
+			sendErr = err
+			return
+		}
+		// Send blocks (idle) through outages; nothing is dropped.
+		if err := sender.Send(kind, data); err != nil {
+			sendErr = err
+		}
+	})
+
+	processed := map[time.Time]bool{}
+	for {
+		hours, err := pcapio.ListHours(in)
+		if err != nil {
+			return err
+		}
+		newWork := false
+		for _, hour := range hours {
+			if processed[hour] {
+				continue
+			}
+			if err := processHour(sampler, in, hour); err != nil {
+				return err
+			}
+			if sendErr != nil {
+				return fmt.Errorf("ship events: %w", sendErr)
+			}
+			processed[hour] = true
+			newWork = true
+			st := sampler.DetectorStats()
+			fmt.Printf("%s processed: %d packets total, %d scanners, %d samples\n",
+				pcapio.HourFileName(hour), st.Processed, st.ScannersFound, st.SamplesEmitted)
+		}
+		if !follow {
+			break
+		}
+		if !newWork {
+			time.Sleep(pollEvery)
+		}
+	}
+
+	if len(processed) == 0 {
+		return fmt.Errorf("no capture hours found in %s", in)
+	}
+	// End of input: close out all live flows.
+	var last time.Time
+	for hour := range processed {
+		if hour.After(last) {
+			last = hour
+		}
+	}
+	sampler.Flush(last.Add(time.Hour))
+	if sendErr != nil {
+		return fmt.Errorf("ship events: %w", sendErr)
+	}
+	return nil
+}
+
+func processHour(sampler *pipeline.Sampler, dir string, hour time.Time) error {
+	hr, err := pcapio.OpenHour(dir, hour)
+	if err != nil {
+		return err
+	}
+	defer hr.Close()
+	var pkts []packet.Packet
+	var p packet.Packet
+	for {
+		err := hr.Next(&p)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		pkts = append(pkts, p)
+	}
+	sampler.ProcessHour(pkts, hour.Add(time.Hour))
+	return nil
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"exiot/internal/pcapio"
+	"exiot/internal/pipeline"
+	"exiot/internal/simnet"
+	"exiot/internal/wire"
+)
+
+// writeTestCaptures synthesizes a few hours of telescope captures.
+func writeTestCaptures(t *testing.T, dir string, hours int) {
+	t.Helper()
+	cfg := simnet.DefaultConfig(21)
+	cfg.NumInfected = 50
+	cfg.NumNonIoT = 10
+	cfg.NumMisconfig = 5
+	cfg.NumBackscat = 2
+	cfg.MaxPacketsPerHostHour = 600
+	w := simnet.NewWorld(cfg)
+	for h := 0; h < hours; h++ {
+		hour := w.Start().Add(time.Duration(h) * time.Hour)
+		hw, err := pcapio.CreateHour(dir, hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkts := w.GenerateHour(hour)
+		for i := range pkts {
+			if err := hw.WritePacket(&pkts[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := hw.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRunShipsEventsOverWire(t *testing.T) {
+	dir := t.TempDir()
+	writeTestCaptures(t, dir, 3)
+
+	var mu sync.Mutex
+	counts := map[wire.Kind]int{}
+	recv, err := wire.NewReceiver("127.0.0.1:0", func(f wire.Frame) {
+		if _, err := pipeline.DecodeEvent(f); err != nil {
+			t.Errorf("undecodable frame: %v", err)
+			return
+		}
+		mu.Lock()
+		counts[f.Kind]++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	if err := run(dir, recv.Addr(), false, time.Second, 100, 200); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if counts[wire.KindReport] == 0 {
+		t.Error("no per-second reports shipped")
+	}
+	if counts[wire.KindSample] == 0 {
+		t.Error("no sampled flows shipped")
+	}
+	if counts[wire.KindFlowEnd] == 0 {
+		t.Error("no flow ends shipped (final flush must close flows)")
+	}
+}
+
+func TestRunEmptyDir(t *testing.T) {
+	recv, err := wire.NewReceiver("127.0.0.1:0", func(wire.Frame) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	if err := run(t.TempDir(), recv.Addr(), false, time.Second, 100, 200); err == nil {
+		t.Error("empty capture dir accepted")
+	}
+}
+
+func TestRunMissingDir(t *testing.T) {
+	if err := run("/nonexistent/captures", "127.0.0.1:1", false, time.Second, 100, 200); err == nil {
+		t.Error("missing dir accepted")
+	}
+}

@@ -1,0 +1,50 @@
+// Package exiot is a from-scratch, stdlib-only Go reproduction of
+// eX-IoT — the operational Cyber Threat Intelligence feed for
+// Internet-scale compromised IoT devices described in "Sanitizing the IoT
+// Cyber Security Posture: An Operational CTI Feed Backed up by Internet
+// Measurements" (Safaei Pour, Watson, Bou-Harb — DSN 2021).
+//
+// The package is the public doorway: it assembles a full deployment —
+// a simulated /8 network telescope world (the substitute for the CAIDA
+// feed and the probeable Internet), the TRW flow detector and sampler,
+// the ZMap/ZGrab scan module with a Recog-style fingerprint base, the
+// random-forest annotate/update-classifier loop, the three stores, e-mail
+// notification, and the authenticated REST API — and runs it over
+// simulated time.
+//
+//	sys := exiot.NewSystem(exiot.DefaultConfig(42))
+//	if err := sys.RunAll(); err != nil { ... }
+//	snap := sys.Feed().Snapshot()
+//
+// Deeper control lives in the internal packages; the experiment harness
+// (cmd/experiments) regenerates every table and figure of the paper's
+// evaluation on top of this API.
+package exiot
+
+import (
+	"exiot/internal/core"
+	"exiot/internal/pipeline"
+	"exiot/internal/simnet"
+)
+
+// Config parameterizes a deployment. See DefaultConfig.
+type Config = core.Config
+
+// System is one running eX-IoT deployment.
+type System = core.System
+
+// WorldConfig configures the simulated Internet.
+type WorldConfig = simnet.Config
+
+// PipelineConfig configures the detection pipeline.
+type PipelineConfig = pipeline.LocalConfig
+
+// DefaultConfig returns a laptop-scale deployment seeded with seed.
+func DefaultConfig(seed int64) Config {
+	return core.DefaultConfig(seed)
+}
+
+// NewSystem builds a deployment from cfg.
+func NewSystem(cfg Config) *System {
+	return core.NewSystem(cfg)
+}

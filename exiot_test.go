@@ -1,0 +1,72 @@
+package exiot_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"exiot"
+	"exiot/internal/scanmod"
+	"exiot/internal/trainer"
+)
+
+// TestPublicAPISmoke drives the whole system through the public facade
+// only: configure, run, query the feed, serve the REST API.
+func TestPublicAPISmoke(t *testing.T) {
+	cfg := exiot.DefaultConfig(7)
+	cfg.World.NumInfected = 70
+	cfg.World.NumNonIoT = 15
+	cfg.World.NumMisconfig = 8
+	cfg.World.NumBackscat = 3
+	cfg.World.MaxPacketsPerHostHour = 800
+	cfg.Pipeline.Server.ScanMod = scanmod.Config{BatchSize: 20, BatchWait: 30 * time.Minute}
+	cfg.Pipeline.Server.Trainer = trainer.Config{SearchIterations: 2, Seed: 7}
+
+	sys := exiot.NewSystem(cfg)
+	if err := sys.RunHours(8); err != nil {
+		t.Fatal(err)
+	}
+	sys.Finish()
+
+	snap := sys.Feed().Snapshot()
+	if snap.TotalRecords == 0 {
+		t.Fatal("no records through the public API")
+	}
+
+	ts := httptest.NewServer(sys.Handler())
+	defer ts.Close()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/api/v1/health", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("health status = %d", resp.StatusCode)
+	}
+}
+
+// TestDeterministicRuns verifies two identically-seeded systems produce
+// identical feeds — the property every experiment in this repo rests on.
+func TestDeterministicRuns(t *testing.T) {
+	build := func() int64 {
+		cfg := exiot.DefaultConfig(1234)
+		cfg.World.NumInfected = 50
+		cfg.World.NumNonIoT = 10
+		cfg.World.MaxPacketsPerHostHour = 600
+		cfg.Pipeline.Server.Trainer = trainer.Config{SearchIterations: 2, Seed: 1234}
+		sys := exiot.NewSystem(cfg)
+		if err := sys.RunHours(4); err != nil {
+			t.Fatal(err)
+		}
+		sys.Finish()
+		return sys.Feed().Counters().RecordsCreated
+	}
+	if a, b := build(), build(); a != b {
+		t.Errorf("identically-seeded runs diverged: %d vs %d records", a, b)
+	}
+}

@@ -1,0 +1,3 @@
+module exiot
+
+go 1.22

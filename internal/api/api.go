@@ -1,0 +1,362 @@
+// Package api exposes eX-IoT's CTI feed the way the paper does: an
+// authenticated RESTful API returning JSON, backing a front-end with an
+// Internet snapshot, dashboard aggregations, a record query builder, and
+// e-mail alarm registration.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"exiot/internal/campaign"
+	"exiot/internal/feed"
+	"exiot/internal/notify"
+	"exiot/internal/packet"
+)
+
+// Query filters feed records.
+type Query struct {
+	Label   string // "IoT" / "non-IoT" / ""
+	Country string // country code
+	ASN     int
+	Active  *bool
+	Since   time.Time
+	Prefix  *packet.Prefix
+	Limit   int
+}
+
+// Snapshot is the front-end's high-level real-time view.
+type Snapshot struct {
+	GeneratedAt    time.Time      `json:"generated_at"`
+	TotalRecords   int            `json:"total_records"`
+	ActiveRecords  int            `json:"active_records"`
+	IoTRecords     int            `json:"iot_records"`
+	BenignRecords  int            `json:"benign_records"`
+	TopCountries   map[string]int `json:"top_countries"`
+	TopPorts       map[string]int `json:"top_ports"`
+	TopVendors     map[string]int `json:"top_vendors"`
+	RecordsPerHour float64        `json:"records_per_hour"`
+}
+
+// Source is the feed backend the API queries (implemented by the
+// pipeline).
+type Source interface {
+	Records(q Query) []feed.Record
+	RecordByIP(ip string) (feed.Record, bool)
+	Snapshot() Snapshot
+}
+
+// TrafficHour is one hour of aggregated telescope traffic statistics —
+// what the paper's receiver stores in MongoDB from the flow detector's
+// per-second reports.
+type TrafficHour struct {
+	Hour         time.Time      `json:"hour"`
+	Total        int64          `json:"total"`
+	TCP          int64          `json:"tcp"`
+	UDP          int64          `json:"udp"`
+	ICMP         int64          `json:"icmp"`
+	Backscatter  int64          `json:"backscatter"`
+	NewScanFlows int64          `json:"new_scan_flows"`
+	TopPorts     map[uint16]int `json:"top_ports"`
+	PeakPPS      int            `json:"peak_pps"`
+	Seconds      int            `json:"seconds"`
+}
+
+// TrafficSource is optionally implemented by backends that aggregate the
+// flow detector's per-second reports into hourly traffic statistics.
+type TrafficSource interface {
+	Traffic() []TrafficHour
+}
+
+// Server is the authenticated REST API server.
+type Server struct {
+	source   Source
+	notifier *notify.Notifier
+
+	mu   sync.RWMutex
+	keys map[string]string // token → client name
+
+	mux *http.ServeMux
+}
+
+// NewServer builds the API over a feed source; notifier may be nil to
+// disable alarm registration.
+func NewServer(source Source, notifier *notify.Notifier) *Server {
+	s := &Server{
+		source:   source,
+		notifier: notifier,
+		keys:     make(map[string]string),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/v1/health", s.handleHealth)
+	mux.HandleFunc("GET /api/v1/snapshot", s.auth(s.handleSnapshot))
+	mux.HandleFunc("GET /api/v1/records", s.auth(s.handleRecords))
+	mux.HandleFunc("GET /api/v1/records/{ip}", s.auth(s.handleRecordByIP))
+	mux.HandleFunc("GET /api/v1/stats/countries", s.auth(s.statsHandler("countries")))
+	mux.HandleFunc("GET /api/v1/stats/ports", s.auth(s.statsHandler("ports")))
+	mux.HandleFunc("GET /api/v1/stats/vendors", s.auth(s.statsHandler("vendors")))
+	mux.HandleFunc("POST /api/v1/alerts", s.auth(s.handleAlerts))
+	mux.HandleFunc("GET /api/v1/campaigns", s.auth(s.handleCampaigns))
+	mux.HandleFunc("GET /api/v1/stats/traffic", s.auth(s.handleTraffic))
+	s.registerDashboard(mux)
+	s.mux = mux
+	return s
+}
+
+var _ http.Handler = (*Server)(nil)
+
+// ServeHTTP dispatches API requests.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// AddKey registers an API key for a named client.
+func (s *Server) AddKey(token, client string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.keys[token] = client
+}
+
+// auth wraps a handler with bearer/X-API-Key authentication.
+func (s *Server) auth(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		token := r.Header.Get("X-API-Key")
+		if token == "" {
+			if h := r.Header.Get("Authorization"); strings.HasPrefix(h, "Bearer ") {
+				token = strings.TrimPrefix(h, "Bearer ")
+			}
+		}
+		s.mu.RLock()
+		_, ok := s.keys[token]
+		s.mu.RUnlock()
+		if !ok {
+			writeError(w, http.StatusUnauthorized, "missing or invalid API key")
+			return
+		}
+		next(w, r)
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.source.Snapshot())
+}
+
+func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
+	q, err := parseQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	records := s.source.Records(q)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":   len(records),
+		"records": records,
+	})
+}
+
+func (s *Server) handleRecordByIP(w http.ResponseWriter, r *http.Request) {
+	ip := r.PathValue("ip")
+	if _, err := packet.ParseIP(ip); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid ip")
+		return
+	}
+	rec, ok := s.source.RecordByIP(ip)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no record for "+ip)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (s *Server) statsHandler(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		snap := s.source.Snapshot()
+		var data map[string]int
+		switch kind {
+		case "countries":
+			data = snap.TopCountries
+		case "ports":
+			data = snap.TopPorts
+		case "vendors":
+			data = snap.TopVendors
+		}
+		writeJSON(w, http.StatusOK, data)
+	}
+}
+
+// alertRequest is the alarm-registration payload.
+type alertRequest struct {
+	Prefix string `json:"prefix"`
+	Email  string `json:"email"`
+}
+
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	if s.notifier == nil {
+		writeError(w, http.StatusServiceUnavailable, "notifications disabled")
+		return
+	}
+	var req alertRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body")
+		return
+	}
+	prefix, err := packet.ParsePrefix(req.Prefix)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid prefix: "+err.Error())
+		return
+	}
+	if !strings.Contains(req.Email, "@") {
+		writeError(w, http.StatusBadRequest, "invalid email")
+		return
+	}
+	s.notifier.Subscribe(prefix, req.Email)
+	writeJSON(w, http.StatusCreated, map[string]string{
+		"status": "subscribed",
+		"prefix": prefix.String(),
+		"email":  req.Email,
+	})
+}
+
+// handleCampaigns runs campaign inference over the feed and returns the
+// inferred groups — the campaign-analysis extension exposed as an API.
+func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
+	minSize := 0
+	if v := r.URL.Query().Get("min_size"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "invalid min_size")
+			return
+		}
+		minSize = n
+	}
+	records := s.source.Records(Query{Label: feed.LabelIoT, Limit: 0})
+	campaigns := campaign.Infer(records, campaign.Config{MinSize: minSize})
+	type entry struct {
+		Signature string         `json:"signature"`
+		Tool      string         `json:"tool,omitempty"`
+		Ports     []uint16       `json:"ports"`
+		Devices   int            `json:"devices"`
+		Records   int            `json:"records"`
+		Countries map[string]int `json:"countries"`
+	}
+	out := make([]entry, 0, len(campaigns))
+	for i := range campaigns {
+		c := &campaigns[i]
+		out = append(out, entry{
+			Signature: c.Signature.String(),
+			Tool:      c.Signature.Tool,
+			Ports:     c.Signature.Ports,
+			Devices:   c.Size(),
+			Records:   c.Records,
+			Countries: c.Countries,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(out), "campaigns": out})
+}
+
+// handleTraffic serves the hourly telescope traffic statistics when the
+// backend provides them.
+func (s *Server) handleTraffic(w http.ResponseWriter, _ *http.Request) {
+	ts, ok := s.source.(TrafficSource)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "backend does not aggregate traffic reports")
+		return
+	}
+	hours := ts.Traffic()
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(hours), "hours": hours})
+}
+
+func parseQuery(r *http.Request) (Query, error) {
+	var q Query
+	v := r.URL.Query()
+	q.Label = v.Get("label")
+	if q.Label != "" && q.Label != feed.LabelIoT && q.Label != feed.LabelNonIoT {
+		return q, fmt.Errorf("label must be %q or %q", feed.LabelIoT, feed.LabelNonIoT)
+	}
+	q.Country = v.Get("country")
+	if asn := v.Get("asn"); asn != "" {
+		n, err := strconv.Atoi(asn)
+		if err != nil {
+			return q, fmt.Errorf("invalid asn %q", asn)
+		}
+		q.ASN = n
+	}
+	if act := v.Get("active"); act != "" {
+		b, err := strconv.ParseBool(act)
+		if err != nil {
+			return q, fmt.Errorf("invalid active %q", act)
+		}
+		q.Active = &b
+	}
+	if since := v.Get("since"); since != "" {
+		ts, err := time.Parse(time.RFC3339, since)
+		if err != nil {
+			return q, fmt.Errorf("invalid since %q (want RFC3339)", since)
+		}
+		q.Since = ts
+	}
+	if pfx := v.Get("prefix"); pfx != "" {
+		p, err := packet.ParsePrefix(pfx)
+		if err != nil {
+			return q, err
+		}
+		q.Prefix = &p
+	}
+	q.Limit = 100
+	if lim := v.Get("limit"); lim != "" {
+		n, err := strconv.Atoi(lim)
+		if err != nil || n < 0 {
+			return q, fmt.Errorf("invalid limit %q", lim)
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
+// Matches reports whether rec satisfies the query (shared by feed
+// backends).
+func (q *Query) Matches(rec *feed.Record) bool {
+	if q.Label != "" && rec.Label != q.Label {
+		return false
+	}
+	if q.Country != "" && rec.CountryCode != q.Country {
+		return false
+	}
+	if q.ASN != 0 && rec.ASN != q.ASN {
+		return false
+	}
+	if q.Active != nil && rec.Active != *q.Active {
+		return false
+	}
+	if !q.Since.IsZero() && rec.DetectedAt.Before(q.Since) {
+		return false
+	}
+	if q.Prefix != nil {
+		ip, err := packet.ParseIP(rec.IP)
+		if err != nil || !q.Prefix.Contains(ip) {
+			return false
+		}
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // header already sent; encode errors are unrecoverable
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

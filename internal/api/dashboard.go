@@ -1,0 +1,104 @@
+package api
+
+import (
+	"encoding/json"
+
+	"html/template"
+	"net/http"
+)
+
+// This file implements the front-end surfaces of §IV beyond the JSON API:
+// the web dashboard (Internet snapshot + top-N visualizations + a query
+// builder form) and the bulk raw-data export security operators ingest.
+
+// dashboardTemplate renders the hub page. It is deliberately dependency-
+// free: one HTML page, no scripts beyond a fetch-and-fill loop.
+var dashboardTemplate = template.Must(template.New("dashboard").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>eX-IoT — exploited IoT CTI feed</title>
+<style>
+  body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 60rem; color: #222; }
+  h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 1.6rem; }
+  .tiles { display: flex; gap: 1rem; flex-wrap: wrap; }
+  .tile { border: 1px solid #ddd; border-radius: .5rem; padding: .8rem 1.2rem; min-width: 9rem; }
+  .tile .num { font-size: 1.6rem; font-weight: 600; }
+  table { border-collapse: collapse; margin-top: .5rem; }
+  td, th { border: 1px solid #ddd; padding: .25rem .6rem; text-align: left; }
+  code { background: #f4f4f4; padding: 0 .3rem; }
+</style>
+</head>
+<body>
+<h1>eX-IoT — Internet snapshot</h1>
+<p>Generated {{.GeneratedAt}} · records/hour {{printf "%.1f" .RecordsPerHour}}</p>
+<div class="tiles">
+  <div class="tile"><div class="num">{{.TotalRecords}}</div>total records</div>
+  <div class="tile"><div class="num">{{.IoTRecords}}</div>compromised IoT</div>
+  <div class="tile"><div class="num">{{.ActiveRecords}}</div>actively scanning</div>
+  <div class="tile"><div class="num">{{.BenignRecords}}</div>benign scanners</div>
+</div>
+
+<h2>Top countries (IoT)</h2>
+<table><tr><th>country</th><th>records</th></tr>
+{{range $k, $v := .TopCountries}}<tr><td>{{$k}}</td><td>{{$v}}</td></tr>{{end}}
+</table>
+
+<h2>Top targeted ports (IoT)</h2>
+<table><tr><th>port</th><th>records</th></tr>
+{{range $k, $v := .TopPorts}}<tr><td>{{$k}}</td><td>{{$v}}</td></tr>{{end}}
+</table>
+
+<h2>Top vendors (IoT)</h2>
+<table><tr><th>vendor</th><th>records</th></tr>
+{{range $k, $v := .TopVendors}}<tr><td>{{$k}}</td><td>{{$v}}</td></tr>{{end}}
+</table>
+
+<h2>Query builder</h2>
+<p>The REST API accepts <code>label</code>, <code>country</code>,
+<code>asn</code>, <code>active</code>, <code>since</code>,
+<code>prefix</code>, and <code>limit</code>:</p>
+<p><code>GET /api/v1/records?label=IoT&amp;country=CN&amp;limit=50</code>
+(authenticate with <code>X-API-Key</code>)</p>
+<p>Bulk export: <code>GET /api/v1/export</code> (NDJSON, one record per line)</p>
+</body>
+</html>
+`))
+
+// registerDashboard adds the HTML hub and the bulk export endpoint.
+func (s *Server) registerDashboard(mux *http.ServeMux) {
+	mux.HandleFunc("GET /{$}", s.auth(s.handleDashboard))
+	mux.HandleFunc("GET /api/v1/export", s.auth(s.handleExport))
+}
+
+func (s *Server) handleDashboard(w http.ResponseWriter, _ *http.Request) {
+	snap := s.source.Snapshot()
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := dashboardTemplate.Execute(w, snap); err != nil {
+		// Header already sent; nothing recoverable.
+		return
+	}
+}
+
+// handleExport streams the feed as NDJSON — the paper's bulk raw-data
+// channel for researchers and operators. Filters mirror /records.
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	q, err := parseQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if r.URL.Query().Get("limit") == "" {
+		q.Limit = 0 // bulk export defaults to everything
+	}
+	records := s.source.Records(q)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Content-Disposition", `attachment; filename="exiot-export.ndjson"`)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	for i := range records {
+		if err := enc.Encode(&records[i]); err != nil {
+			return // client went away mid-stream
+		}
+	}
+}

@@ -1,0 +1,345 @@
+// Package device catalogs the IoT device population (vendors, types,
+// models, firmware, service banners, TCP/IP stack profiles), the IoT
+// malware families that infect them, and the scanning tools run by non-IoT
+// hosts. The catalog is the ground truth the world simulator instantiates;
+// the detection pipeline never reads it directly — it only sees packets
+// and probe responses.
+package device
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Type is the coarse device category reported by the CTI feed.
+type Type string
+
+// Device categories observed on consumer and SOHO networks.
+const (
+	TypeRouter  Type = "Router"
+	TypeCamera  Type = "IP Camera"
+	TypeDVR     Type = "DVR"
+	TypeNAS     Type = "NAS"
+	TypePrinter Type = "Printer"
+	TypeTVBox   Type = "TV Box"
+	TypeModem   Type = "Modem/CPE"
+	TypeDesktop Type = "Desktop (non-IoT)"
+	TypeServer  Type = "Server (non-IoT)"
+)
+
+// StackProfile captures the TCP/IP stack fingerprint of a device family.
+// These differences (TTL, window, MSS, option usage, ToS) are precisely the
+// signal the paper's random forest exploits in passive traffic.
+type StackProfile struct {
+	TTL       uint8
+	Windows   []uint16
+	MSS       uint16
+	TOS       uint8
+	WScale    uint8
+	UseWScale bool
+	UseSACKOK bool
+	UseTS     bool
+	UseNOP    bool
+}
+
+// ServiceTemplate describes one network service a device model exposes.
+// The banner template may reference {model} and {fw}; Textual marks
+// banners that carry device-identifying text (the ~3 % the paper can mine
+// for vendor/model/firmware).
+type ServiceTemplate struct {
+	Port     uint16
+	Protocol string
+	Template string
+	Textual  bool
+}
+
+// Model is one device model in the catalog.
+type Model struct {
+	Vendor    string
+	Type      Type
+	Name      string
+	Firmwares []string
+	// Weight is the model's relative share of the infected population,
+	// tuned to reproduce Table V vendor ordering (MikroTik > Aposonic >
+	// Foscam > ZTE > Hikvision > tail).
+	Weight   float64
+	Services []ServiceTemplate
+	Stack    StackProfile
+}
+
+var embeddedLinux = StackProfile{
+	TTL: 64, Windows: []uint16{5840, 5720, 14600}, MSS: 1460, UseNOP: true,
+}
+
+var busyBoxTiny = StackProfile{
+	TTL: 64, Windows: []uint16{4380, 5808}, MSS: 1400,
+}
+
+var rtosStack = StackProfile{
+	TTL: 255, Windows: []uint16{4096, 8192}, MSS: 1380,
+}
+
+// Catalog is the IoT device model table.
+var Catalog = []Model{
+	{
+		Vendor: "MikroTik", Type: TypeRouter, Name: "RB941-2nD hAP lite",
+		Firmwares: []string{"6.42.1", "6.45.9", "6.40.5"},
+		Weight:    34.0,
+		Services: []ServiceTemplate{
+			{Port: 21, Protocol: "ftp", Template: "220 {model} FTP server (MikroTik {fw}) ready", Textual: true},
+			{Port: 22, Protocol: "ssh", Template: "SSH-2.0-ROSSSH", Textual: false},
+			{Port: 80, Protocol: "http", Template: "HTTP/1.1 200 OK\r\nServer: mikrotik RouterOS {fw}\r\n\r\n<title>RouterOS router configuration page</title>", Textual: true},
+			{Port: 8291, Protocol: "winbox", Template: "\x00\x00winbox", Textual: false},
+		},
+		Stack: embeddedLinux,
+	},
+	{
+		Vendor: "Aposonic", Type: TypeDVR, Name: "A-S0801R8 DVR",
+		Firmwares: []string{"2.4.6", "3.1.0"},
+		Weight:    6.2,
+		Services: []ServiceTemplate{
+			{Port: 80, Protocol: "http", Template: "HTTP/1.1 200 OK\r\nServer: thttpd/2.25b\r\n\r\n<title>Aposonic {model} WEB SERVICE</title>", Textual: true},
+			{Port: 554, Protocol: "rtsp", Template: "RTSP/1.0 200 OK\r\nServer: Aposonic Rtsp Server {fw}", Textual: true},
+			{Port: 23, Protocol: "telnet", Template: "\r\n{model} login: ", Textual: true},
+		},
+		Stack: busyBoxTiny,
+	},
+	{
+		Vendor: "Foscam", Type: TypeCamera, Name: "FI9821P",
+		Firmwares: []string{"1.11.1.8", "2.11.1.5"},
+		Weight:    4.1,
+		Services: []ServiceTemplate{
+			{Port: 88, Protocol: "http", Template: "HTTP/1.1 200 OK\r\nServer: FoscamCamera/{fw}\r\n\r\n<title>IPCam Client</title>", Textual: true},
+			{Port: 443, Protocol: "https", Template: "HTTP/1.1 200 OK\r\nServer: FoscamCamera/{fw}", Textual: true},
+		},
+		Stack: busyBoxTiny,
+	},
+	{
+		Vendor: "ZTE", Type: TypeModem, Name: "ZXHN F660",
+		Firmwares: []string{"V5.2.0", "V6.0.1"},
+		Weight:    2.4,
+		Services: []ServiceTemplate{
+			{Port: 80, Protocol: "http", Template: "HTTP/1.1 200 OK\r\nServer: Mini web server 1.0 ZTE corp 2005.\r\n\r\n<title>{model}</title>", Textual: true},
+			{Port: 7547, Protocol: "cwmp", Template: "HTTP/1.1 404 Not Found\r\nServer: ZTE CPE {fw}", Textual: true},
+			{Port: 23, Protocol: "telnet", Template: "\r\nF660 login: ", Textual: true},
+		},
+		Stack: embeddedLinux,
+	},
+	{
+		Vendor: "Hikvision", Type: TypeCamera, Name: "DS-2CD2032-I",
+		Firmwares: []string{"V5.4.5", "V5.3.0"},
+		Weight:    2.1,
+		Services: []ServiceTemplate{
+			{Port: 80, Protocol: "http", Template: "HTTP/1.1 401 Unauthorized\r\nServer: App-webs/\r\nWWW-Authenticate: Digest realm=\"DS-2CD2032-I\"\r\n\r\n", Textual: true},
+			{Port: 554, Protocol: "rtsp", Template: "RTSP/1.0 401 Unauthorized\r\nServer: HikvisionRtspServer {fw}", Textual: true},
+			{Port: 8000, Protocol: "sdk", Template: "", Textual: false},
+		},
+		Stack: busyBoxTiny,
+	},
+	{
+		Vendor: "Dahua", Type: TypeCamera, Name: "IPC-HDW4431C",
+		Firmwares: []string{"2.622", "2.800"},
+		Weight:    1.7,
+		Services: []ServiceTemplate{
+			{Port: 80, Protocol: "http", Template: "HTTP/1.1 200 OK\r\nServer: DahuaHttp\r\n\r\n<title>WEB SERVICE</title>", Textual: true},
+			{Port: 554, Protocol: "rtsp", Template: "RTSP/1.0 401 Unauthorized\r\nServer: Dahua Rtsp Server", Textual: true},
+		},
+		Stack: busyBoxTiny,
+	},
+	{
+		Vendor: "D-Link", Type: TypeRouter, Name: "DIR-615",
+		Firmwares: []string{"20.07", "20.12"},
+		Weight:    1.5,
+		Services: []ServiceTemplate{
+			{Port: 80, Protocol: "http", Template: "HTTP/1.1 200 OK\r\nServer: Linux, HTTP/1.1, DIR-615 Ver {fw}\r\n\r\n<title>D-LINK SYSTEMS, INC. | WIRELESS ROUTER</title>", Textual: true},
+			{Port: 23, Protocol: "telnet", Template: "\r\nDIR-615 login: ", Textual: true},
+		},
+		Stack: embeddedLinux,
+	},
+	{
+		Vendor: "TP-Link", Type: TypeRouter, Name: "TL-WR841N",
+		Firmwares: []string{"3.16.9", "3.17.1"},
+		Weight:    1.4,
+		Services: []ServiceTemplate{
+			{Port: 80, Protocol: "http", Template: "HTTP/1.1 401 Unauthorized\r\nServer: Router Webserver\r\nWWW-Authenticate: Basic realm=\"TP-LINK Wireless N Router WR841N\"\r\n\r\n", Textual: true},
+			{Port: 22, Protocol: "ssh", Template: "SSH-2.0-dropbear_2012.55", Textual: false},
+		},
+		Stack: embeddedLinux,
+	},
+	{
+		Vendor: "Huawei", Type: TypeModem, Name: "HG532e",
+		Firmwares: []string{"V100R001", "V100R002"},
+		Weight:    1.3,
+		Services: []ServiceTemplate{
+			{Port: 80, Protocol: "http", Template: "HTTP/1.1 200 OK\r\nServer: HuaweiHomeGateway\r\n\r\n<title>HG532e Home Gateway</title>", Textual: true},
+			{Port: 37215, Protocol: "upnp", Template: "", Textual: false},
+		},
+		Stack: embeddedLinux,
+	},
+	{
+		Vendor: "Netgear", Type: TypeRouter, Name: "R7000 Nighthawk",
+		Firmwares: []string{"1.0.9.88", "1.0.11.100"},
+		Weight:    1.1,
+		Services: []ServiceTemplate{
+			{Port: 80, Protocol: "http", Template: "HTTP/1.1 401 Unauthorized\r\nWWW-Authenticate: Basic realm=\"NETGEAR R7000\"\r\n\r\n", Textual: true},
+			{Port: 5000, Protocol: "upnp", Template: "HTTP/1.1 200 OK\r\nServer: R7000 UPnP/1.0", Textual: true},
+		},
+		Stack: embeddedLinux,
+	},
+	{
+		Vendor: "Xiongmai", Type: TypeDVR, Name: "XM JPEG DVR",
+		Firmwares: []string{"4.02.R11", "4.03.R11"},
+		Weight:    1.6,
+		Services: []ServiceTemplate{
+			{Port: 80, Protocol: "http", Template: "HTTP/1.1 200 OK\r\nServer: uc-httpd 1.0.0\r\n\r\n<title>NETSurveillance WEB</title>", Textual: true},
+			{Port: 23, Protocol: "telnet", Template: "\r\nLocalHost login: ", Textual: false},
+		},
+		Stack: busyBoxTiny,
+	},
+	{
+		Vendor: "AVTECH", Type: TypeDVR, Name: "AVC787",
+		Firmwares: []string{"1017", "1022"},
+		Weight:    0.9,
+		Services: []ServiceTemplate{
+			{Port: 80, Protocol: "http", Template: "HTTP/1.1 200 OK\r\nServer: Linux/2.x UPnP/1.0 Avtech/1.0\r\n\r\n<title>--- VIDEO WEB SERVER ---</title>", Textual: true},
+		},
+		Stack: busyBoxTiny,
+	},
+	{
+		Vendor: "Axis", Type: TypeCamera, Name: "Q6115-E PTZ Dome",
+		Firmwares: []string{"6.20.1.2", "6.30.1"},
+		Weight:    0.7,
+		Services: []ServiceTemplate{
+			{Port: 21, Protocol: "ftp", Template: "220 AXIS {model} Network Camera {fw} (2016) ready.", Textual: true},
+			{Port: 80, Protocol: "http", Template: "HTTP/1.1 200 OK\r\nServer: Apache\r\n\r\n<title>AXIS</title>", Textual: true},
+			{Port: 554, Protocol: "rtsp", Template: "RTSP/1.0 200 OK\r\nServer: GStreamer RTSP server", Textual: false},
+		},
+		Stack: embeddedLinux,
+	},
+	{
+		Vendor: "Synology", Type: TypeNAS, Name: "DS218j",
+		Firmwares: []string{"DSM 6.2.2", "DSM 6.1.7"},
+		Weight:    0.5,
+		Services: []ServiceTemplate{
+			{Port: 5000, Protocol: "http", Template: "HTTP/1.1 200 OK\r\nServer: nginx\r\n\r\n<title>Synology DiskStation</title>", Textual: true},
+			{Port: 22, Protocol: "ssh", Template: "SSH-2.0-OpenSSH_7.4", Textual: false},
+		},
+		Stack: embeddedLinux,
+	},
+	{
+		Vendor: "HP", Type: TypePrinter, Name: "LaserJet P2055dn",
+		Firmwares: []string{"20130415", "20151023"},
+		Weight:    0.4,
+		Services: []ServiceTemplate{
+			{Port: 631, Protocol: "ipp", Template: "HTTP/1.1 200 OK\r\nServer: HP HTTP Server; HP LaserJet P2055dn", Textual: true},
+			{Port: 9100, Protocol: "jetdirect", Template: "", Textual: false},
+		},
+		Stack: rtosStack,
+	},
+	{
+		Vendor: "Generic Android", Type: TypeTVBox, Name: "H96 Max TV Box",
+		Firmwares: []string{"7.1.2", "9.0"},
+		Weight:    3.5,
+		Services: []ServiceTemplate{
+			{Port: 5555, Protocol: "adb", Template: "CNXN\x00\x00\x00\x01device::H96 Max", Textual: true},
+		},
+		Stack: StackProfile{TTL: 64, Windows: []uint16{65535}, MSS: 1460, UseWScale: true, WScale: 8, UseSACKOK: true, UseTS: true, UseNOP: true},
+	},
+	{
+		Vendor: "GPON Generic", Type: TypeModem, Name: "GPON Home Router",
+		Firmwares: []string{"1.0", "2.0"},
+		Weight:    1.8,
+		Services: []ServiceTemplate{
+			{Port: 8080, Protocol: "http", Template: "HTTP/1.1 200 OK\r\nServer: Boa/0.94.14rc21\r\n\r\n<title>GPON Home Gateway</title>", Textual: true},
+			{Port: 7547, Protocol: "cwmp", Template: "", Textual: false},
+		},
+		Stack: busyBoxTiny,
+	},
+	{
+		Vendor: "Vivotek", Type: TypeCamera, Name: "FD8169A",
+		Firmwares: []string{"0100d", "0102b"},
+		Weight:    0.6,
+		Services: []ServiceTemplate{
+			{Port: 80, Protocol: "http", Template: "HTTP/1.1 401 Unauthorized\r\nServer: Boa/0.94.14rc21\r\nWWW-Authenticate: Basic realm=\"streaming_server\"\r\n\r\n<title>VIVOTEK {model}</title>", Textual: true},
+			{Port: 554, Protocol: "rtsp", Template: "RTSP/1.0 200 OK\r\nServer: Vivotek Rtsp Server {fw}", Textual: true},
+		},
+		Stack: busyBoxTiny,
+	},
+	{
+		Vendor: "Ubiquiti", Type: TypeRouter, Name: "NanoStation M5",
+		Firmwares: []string{"XM.6.1.7", "XW.6.2.0"},
+		Weight:    0.8,
+		Services: []ServiceTemplate{
+			{Port: 80, Protocol: "http", Template: "HTTP/1.1 200 OK\r\nServer: lighttpd/1.4.31\r\n\r\n<title>airOS</title>", Textual: true},
+			{Port: 22, Protocol: "ssh", Template: "SSH-2.0-dropbear_2015.67", Textual: false},
+		},
+		Stack: embeddedLinux,
+	},
+	{
+		Vendor: "Samsung", Type: TypeDVR, Name: "SRD-1676D",
+		Firmwares: []string{"1.04", "1.12"},
+		Weight:    0.5,
+		Services: []ServiceTemplate{
+			{Port: 80, Protocol: "http", Template: "HTTP/1.1 200 OK\r\nServer: Cross Web Server\r\n\r\n<title>iPolis DVR {model}</title>", Textual: true},
+			{Port: 554, Protocol: "rtsp", Template: "RTSP/1.0 200 OK\r\nServer: iPolis Rtsp Server", Textual: true},
+		},
+		Stack: busyBoxTiny,
+	},
+	{
+		Vendor: "Zyxel", Type: TypeModem, Name: "P-660HN-T1A",
+		Firmwares: []string{"V3.40", "V3.70"},
+		Weight:    0.7,
+		Services: []ServiceTemplate{
+			{Port: 80, Protocol: "http", Template: "HTTP/1.1 401 Unauthorized\r\nWWW-Authenticate: Basic realm=\"P-660HN-T1A\"\r\nServer: RomPager/4.07 UPnP/1.0\r\n\r\n", Textual: true},
+			{Port: 23, Protocol: "telnet", Template: "\r\nPassword: ", Textual: false},
+		},
+		Stack: rtosStack,
+	},
+	{
+		Vendor: "QNAP", Type: TypeNAS, Name: "TS-231P",
+		Firmwares: []string{"4.3.3", "4.3.6"},
+		Weight:    0.4,
+		Services: []ServiceTemplate{
+			{Port: 8080, Protocol: "http", Template: "HTTP/1.1 200 OK\r\nServer: http server 1.0\r\n\r\n<title>QNAP Turbo NAS</title>", Textual: true},
+			{Port: 22, Protocol: "ssh", Template: "SSH-2.0-OpenSSH_5.8", Textual: false},
+		},
+		Stack: embeddedLinux,
+	},
+	{
+		Vendor: "Panasonic", Type: TypeCamera, Name: "BL-C111A",
+		Firmwares: []string{"3.14", "4.60"},
+		Weight:    0.4,
+		Services: []ServiceTemplate{
+			{Port: 80, Protocol: "http", Template: "HTTP/1.1 401 Unauthorized\r\nWWW-Authenticate: Basic realm=\"Panasonic network device\"\r\n\r\n", Textual: true},
+		},
+		Stack: busyBoxTiny,
+	},
+}
+
+// Render substitutes {model} and {fw} into a banner template.
+func (s *ServiceTemplate) Render(m *Model, fw string) string {
+	out := strings.ReplaceAll(s.Template, "{model}", m.Name)
+	return strings.ReplaceAll(out, "{fw}", fw)
+}
+
+// PickModel samples a device model from the catalog by weight.
+func PickModel(rng *rand.Rand) *Model {
+	total := catalogWeight()
+	u := rng.Float64() * total
+	cum := 0.0
+	for i := range Catalog {
+		cum += Catalog[i].Weight
+		if u < cum {
+			return &Catalog[i]
+		}
+	}
+	return &Catalog[len(Catalog)-1]
+}
+
+func catalogWeight() float64 {
+	var t float64
+	for i := range Catalog {
+		t += Catalog[i].Weight
+	}
+	return t
+}

@@ -1,0 +1,201 @@
+package device
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCatalogSane(t *testing.T) {
+	seen := map[string]bool{}
+	for i := range Catalog {
+		m := &Catalog[i]
+		key := m.Vendor + "/" + m.Name
+		if seen[key] {
+			t.Errorf("duplicate model %s", key)
+		}
+		seen[key] = true
+		if m.Weight <= 0 {
+			t.Errorf("%s: non-positive weight", key)
+		}
+		if len(m.Firmwares) == 0 {
+			t.Errorf("%s: no firmware versions", key)
+		}
+		if len(m.Services) == 0 {
+			t.Errorf("%s: no services", key)
+		}
+		if m.Stack.TTL == 0 || len(m.Stack.Windows) == 0 {
+			t.Errorf("%s: incomplete stack profile", key)
+		}
+		hasTextual := false
+		for _, s := range m.Services {
+			if s.Textual {
+				hasTextual = true
+			}
+		}
+		if !hasTextual {
+			t.Errorf("%s: no textual banner (unfingerprintable vendor)", key)
+		}
+	}
+}
+
+func TestRenderSubstitution(t *testing.T) {
+	m := &Catalog[0] // MikroTik
+	var ftp *ServiceTemplate
+	for i := range m.Services {
+		if m.Services[i].Port == 21 {
+			ftp = &m.Services[i]
+		}
+	}
+	if ftp == nil {
+		t.Fatal("MikroTik FTP service missing")
+	}
+	got := ftp.Render(m, "6.45.9")
+	if !strings.Contains(got, m.Name) || !strings.Contains(got, "6.45.9") {
+		t.Errorf("Render() = %q: placeholders not substituted", got)
+	}
+	if strings.Contains(got, "{model}") || strings.Contains(got, "{fw}") {
+		t.Errorf("Render() = %q: leftover placeholders", got)
+	}
+}
+
+func TestPickModelWeightOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	counts := map[string]int{}
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[PickModel(rng).Vendor]++
+	}
+	// Table V vendor ordering: MikroTik > Aposonic > Foscam > ZTE > Hikvision.
+	order := []string{"MikroTik", "Aposonic", "Foscam", "ZTE", "Hikvision"}
+	for i := 0; i+1 < len(order); i++ {
+		if counts[order[i]] <= counts[order[i+1]] {
+			t.Errorf("vendor ordering broken: %s(%d) <= %s(%d)",
+				order[i], counts[order[i]], order[i+1], counts[order[i+1]])
+		}
+	}
+	if frac := float64(counts["MikroTik"]) / n; frac < 0.4 || frac > 0.75 {
+		t.Errorf("MikroTik share = %.3f, want dominant", frac)
+	}
+}
+
+func TestFamiliesSane(t *testing.T) {
+	var total float64
+	for i := range Families {
+		f := &Families[i]
+		total += f.Weight
+		if len(f.Ports) == 0 {
+			t.Errorf("%s: no ports", f.Name)
+		}
+		if f.RateMin <= 0 || f.RateMax < f.RateMin {
+			t.Errorf("%s: bad rate range [%f,%f]", f.Name, f.RateMin, f.RateMax)
+		}
+		// IoT malware scans slowly compared to research tooling.
+		if f.RateMax > 1000 {
+			t.Errorf("%s: rate too high for an IoT device", f.Name)
+		}
+	}
+	if total < 0.99 || total > 1.01 {
+		t.Errorf("family weights sum to %.3f, want 1.0", total)
+	}
+}
+
+func TestAggregatePortShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	counts := map[uint16]int{}
+	const n = 50000
+	for i := 0; i < n; i++ {
+		f := PickFamily(rng)
+		counts[f.PickPort(rng)]++
+	}
+	// Telnet (23) must be the top targeted port, as in Table V.
+	top, topCount := uint16(0), 0
+	for port, c := range counts {
+		if c > topCount {
+			top, topCount = port, c
+		}
+	}
+	if top != 23 {
+		t.Errorf("top port = %d (count %d), want 23", top, topCount)
+	}
+	for _, port := range []uint16{8080, 80, 81, 5555} {
+		if counts[port] == 0 {
+			t.Errorf("port %d never targeted", port)
+		}
+	}
+	if counts[8080] < counts[81] || counts[8080] < counts[5555] {
+		t.Errorf("port shape broken: %v", counts)
+	}
+}
+
+func TestMiraiFingerprint(t *testing.T) {
+	var mirai *MalwareFamily
+	for i := range Families {
+		if Families[i].Name == "Mirai" {
+			mirai = &Families[i]
+		}
+	}
+	if mirai == nil {
+		t.Fatal("Mirai missing from family table")
+	}
+	if !mirai.SeqEqualsDst {
+		t.Error("Mirai must carry the seq==dstIP fingerprint")
+	}
+	if !mirai.MiraiLineage {
+		t.Error("Mirai must be in the Mirai lineage")
+	}
+	lineage := 0.0
+	for i := range Families {
+		if Families[i].MiraiLineage {
+			lineage += Families[i].Weight
+		}
+	}
+	if lineage < 0.5 {
+		t.Errorf("Mirai lineage share = %.2f, want majority (GreyNoise tags most IoT infections Mirai*)", lineage)
+	}
+}
+
+func TestNonIoTProfiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := range NonIoTProfiles {
+		p := &NonIoTProfiles[i]
+		if p.RateMin < 50 {
+			t.Errorf("%s: non-IoT scanners should stay faster than most IoT malware", p.Tool)
+		}
+		if len(p.Ports) == 0 {
+			t.Errorf("%s: no ports", p.Tool)
+		}
+		port := p.PickPort(rng)
+		found := false
+		for _, pw := range p.Ports {
+			if pw.Port == port {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: PickPort returned unlisted port %d", p.Tool, port)
+		}
+	}
+	tools := map[ScanTool]bool{}
+	for i := 0; i < 1000; i++ {
+		tools[PickNonIoTProfile(rng).Tool] = true
+	}
+	if len(tools) < 4 {
+		t.Errorf("only %d tools sampled, want variety", len(tools))
+	}
+}
+
+func TestStackProfilesDiffer(t *testing.T) {
+	// The classifier needs IoT and non-IoT stacks to be distinguishable:
+	// every non-IoT profile uses richer TCP options than the tiny
+	// embedded stacks.
+	for i := range NonIoTProfiles {
+		s := NonIoTProfiles[i].Stack
+		if !s.UseWScale && !s.UseTS && !s.UseSACKOK {
+			t.Errorf("%s: non-IoT stack should negotiate modern TCP options", NonIoTProfiles[i].Tool)
+		}
+	}
+	if busyBoxTiny.UseWScale || busyBoxTiny.UseTS {
+		t.Error("tiny embedded stack should not negotiate modern options")
+	}
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"exiot/internal/features"
+	"exiot/internal/ml"
+	"exiot/internal/trainer"
+)
+
+// AccuracyResult is E7: the feed's IoT-labeling accuracy (precision) and
+// coverage (recall) against banner-derived ground truth.
+type AccuracyResult struct {
+	Evaluated int
+	Precision float64
+	Coverage  float64
+	AUC       float64
+}
+
+// Accuracy reproduces §V-B's precision/coverage measurement: flows whose
+// banners yielded ground-truth labels are split chronologically; a model
+// trained on the earlier portion labels the later portion, and the
+// predictions are scored against the banner truth.
+func Accuracy(e *Env) (AccuracyResult, error) {
+	examples := e.Sys.Feed().Trainer().Snapshot()
+	if len(examples) < 40 {
+		return AccuracyResult{}, fmt.Errorf("accuracy: only %d banner-labeled flows", len(examples))
+	}
+	sort.SliceStable(examples, func(i, j int) bool {
+		return examples[i].Time.Before(examples[j].Time)
+	})
+	cut := len(examples) * 7 / 10
+	trainEx, testEx := examples[:cut], examples[cut:]
+
+	var rawTrain, rawTest ml.Dataset
+	for _, ex := range trainEx {
+		rawTrain.Append(ex.Raw, ex.Label)
+	}
+	for _, ex := range testEx {
+		rawTest.Append(ex.Raw, ex.Label)
+	}
+	negTr, posTr := rawTrain.ClassCounts()
+	negTe, posTe := rawTest.ClassCounts()
+	if posTr == 0 || negTr == 0 || posTe == 0 || negTe == 0 {
+		return AccuracyResult{}, fmt.Errorf("accuracy: single-class split (%d/%d train, %d/%d test)",
+			posTr, negTr, posTe, negTe)
+	}
+
+	norm, err := features.FitNormalizer(rawTrain.X)
+	if err != nil {
+		return AccuracyResult{}, err
+	}
+	train := ml.Dataset{X: norm.ApplyAll(rawTrain.X), Y: rawTrain.Y}
+	test := ml.Dataset{X: norm.ApplyAll(rawTest.X), Y: rawTest.Y}
+	forest := ml.TrainForest(&train, ml.ForestConfig{NumTrees: 60, Seed: e.Scale.Seed})
+
+	conf := ml.ConfusionMatrix(ml.Predictions(forest, &test), test.Y)
+	return AccuracyResult{
+		Evaluated: test.Len(),
+		Precision: conf.Precision(),
+		Coverage:  conf.Recall(),
+		AUC:       ml.ROCAUC(ml.Scores(forest, &test), test.Y),
+	}, nil
+}
+
+// String renders the accuracy experiment.
+func (r AccuracyResult) String() string {
+	return fmt.Sprintf(
+		"Accuracy/coverage — IoT labels vs banner ground truth (%d held-out flows)\n"+
+			"  accuracy (precision): %.2f%% (paper: 94.63%%)\n"+
+			"  coverage (recall):    %.2f%% (paper: 77.21%%)\n"+
+			"  ROC-AUC:              %.4f\n",
+		r.Evaluated, 100*r.Precision, 100*r.Coverage, r.AUC)
+}
+
+// ModelSelectionResult is E9: the RF / SVM / GNB preliminary comparison.
+type ModelSelectionResult struct {
+	Rows   []trainer.ModelComparison
+	Winner string
+}
+
+// ModelSelection reruns the paper's preliminary model comparison on the
+// run's banner-labeled window.
+func ModelSelection(e *Env) (ModelSelectionResult, error) {
+	rows, err := e.Sys.Feed().Trainer().CompareModels(e.To)
+	if err != nil {
+		return ModelSelectionResult{}, err
+	}
+	res := ModelSelectionResult{Rows: rows}
+	best := rows[0]
+	for _, r := range rows {
+		if r.AUC > best.AUC {
+			best = r
+		}
+	}
+	res.Winner = best.Name
+	return res, nil
+}
+
+// String renders the model comparison.
+func (r ModelSelectionResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("Model selection — ROC-AUC and F1 over the banner-labeled window\n")
+	fmt.Fprintf(&sb, "  %-14s %10s %10s\n", "model", "ROC-AUC", "F1")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "  %-14s %10.4f %10.4f\n", row.Name, row.AUC, row.F1)
+	}
+	fmt.Fprintf(&sb, "  winner: %s (paper selects Random Forest)\n", r.Winner)
+	return sb.String()
+}

@@ -1,0 +1,410 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sharedEnv builds one QuickScale env for the whole test package (env
+// construction runs a full pipeline day and dominates test time).
+var (
+	envOnce sync.Once
+	envVal  *Env
+	envErr  error
+)
+
+func sharedEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() {
+		scale := QuickScale(555)
+		scale.Infected = 600
+		scale.NonIoT = 100
+		scale.Days = 2
+		envVal, envErr = NewEnv(scale)
+	})
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return envVal
+}
+
+func TestTableIStatic(t *testing.T) {
+	r := TableI()
+	if len(r.Ports) != 50 || len(r.Protocols) != 16 {
+		t.Errorf("Table I = %d ports, %d protocols", len(r.Ports), len(r.Protocols))
+	}
+	if !strings.Contains(r.String(), "Protocols (16)") {
+		t.Error("render missing protocol count")
+	}
+}
+
+func TestTableIIStatic(t *testing.T) {
+	r := TableII()
+	if len(r.Fields) != 24 || r.Dim != 120 {
+		t.Errorf("Table II = %d fields, dim %d", len(r.Fields), r.Dim)
+	}
+	if !strings.Contains(r.String(), "24 × 5 = 120") {
+		t.Error("render missing dimensionality")
+	}
+}
+
+func TestTableIIIShape(t *testing.T) {
+	e := sharedEnv(t)
+	r := TableIII(e)
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	ex, gn, ds := r.Rows[0], r.Rows[1], r.Rows[2]
+	if ex.FeedName != "eX-IoT" || gn.FeedName != "GreyNoise" || ds.FeedName != "DShield" {
+		t.Fatalf("row order wrong: %+v", r.Rows)
+	}
+	// Core shape: eX-IoT sees several times more than either feed.
+	if ex.AllPerDay <= gn.AllPerDay || ex.AllPerDay <= ds.AllPerDay {
+		t.Errorf("eX-IoT volume (%.0f) should exceed GN (%.0f) and DShield (%.0f)",
+			ex.AllPerDay, gn.AllPerDay, ds.AllPerDay)
+	}
+	if r.AllRatioGN < 1.5 {
+		t.Errorf("all-ratio vs GreyNoise = %.2f, want ≳2 (paper 3.5)", r.AllRatioGN)
+	}
+	if r.IoTRatioGN < 3 {
+		t.Errorf("IoT-ratio vs GreyNoise-Mirai = %.2f, want ≳3 (paper 7.1)", r.IoTRatioGN)
+	}
+	if ds.HasIoTViews {
+		t.Error("DShield must have no IoT view")
+	}
+	if !strings.Contains(r.String(), "eX-IoT") {
+		t.Error("render broken")
+	}
+}
+
+func TestTableIVShape(t *testing.T) {
+	e := sharedEnv(t)
+	r := TableIV(e)
+	if r.ReferenceSize == 0 {
+		t.Fatal("no IoT indicators")
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// Paper: differential contribution near 1 against every feed.
+		if row.Differential < 0.5 || row.Differential > 1 {
+			t.Errorf("%s: Diff = %.3f, want high", row.FeedName, row.Differential)
+		}
+		if ni := row.NormalizedIntersection + row.Differential; ni < 0.999 || ni > 1.001 {
+			t.Errorf("%s: Diff + NormInt = %.3f, want 1", row.FeedName, ni)
+		}
+	}
+	// Paper: ≈76 % of eX-IoT's IoT indicators are unique.
+	if r.Uniq < 0.4 || r.Uniq > 0.98 {
+		t.Errorf("Uniq = %.3f, want ≈0.76", r.Uniq)
+	}
+	if r.UnionOverlap > r.ReferenceSize {
+		t.Error("overlap exceeds reference")
+	}
+}
+
+func TestTableVShape(t *testing.T) {
+	e := sharedEnv(t)
+	r := TableV(e)
+	if r.Instances == 0 || r.UniqueIPs == 0 {
+		t.Fatal("empty snapshot")
+	}
+	if r.UniqueIPs > r.Instances {
+		t.Error("unique IPs exceed instances")
+	}
+	if len(r.Countries) == 0 || r.Countries[0].Name != "China" {
+		t.Errorf("top country = %+v, want China", r.Countries)
+	}
+	if len(r.Continents) == 0 || r.Continents[0].Name != "Asia" {
+		t.Errorf("top continent = %+v, want Asia", r.Continents)
+	}
+	if len(r.Ports) == 0 || r.Ports[0].Name != "23" {
+		t.Errorf("top port = %+v, want 23 (Telnet)", r.Ports)
+	}
+	if len(r.Vendors) > 0 && r.Vendors[0].Name != "MikroTik" {
+		t.Errorf("top vendor = %+v, want MikroTik", r.Vendors)
+	}
+	// AS4134 and AS4837 are the two dominant Chinese eyeball networks;
+	// sampling noise at quick scale can swap their order.
+	if len(r.ASNs) == 0 || (r.ASNs[0].Name != "4134" && r.ASNs[0].Name != "4837") {
+		t.Errorf("top ASN = %+v, want 4134/4837", r.ASNs)
+	}
+	if !strings.Contains(r.String(), "China") {
+		t.Error("render broken")
+	}
+}
+
+func TestValidationShape(t *testing.T) {
+	e := sharedEnv(t)
+	r := Validation(e)
+	if r.IoTIndicators == 0 {
+		t.Fatal("no IoT indicators to validate")
+	}
+	if r.OverallRate < 0.4 || r.OverallRate > 0.95 {
+		t.Errorf("overall validation = %.3f, want ≈0.7", r.OverallRate)
+	}
+	if r.CzechIndicators > 0 && r.CzechRate < r.OverallRate-0.35 {
+		t.Errorf("Czech validation (%.3f) should not collapse below overall (%.3f)",
+			r.CzechRate, r.OverallRate)
+	}
+}
+
+func TestAccuracyShape(t *testing.T) {
+	e := sharedEnv(t)
+	r, err := Accuracy(e)
+	if err != nil {
+		t.Skipf("accuracy experiment starved: %v", err)
+	}
+	if r.Precision < 0.6 {
+		t.Errorf("precision = %.3f, want high (paper 0.946)", r.Precision)
+	}
+	if r.Coverage <= 0 || r.Coverage > 1 {
+		t.Errorf("coverage = %.3f out of range", r.Coverage)
+	}
+	if r.AUC < 0.6 {
+		t.Errorf("AUC = %.3f", r.AUC)
+	}
+}
+
+func TestModelSelectionShape(t *testing.T) {
+	e := sharedEnv(t)
+	r, err := ModelSelection(e)
+	if err != nil {
+		t.Skipf("model selection starved: %v", err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.Winner != "RandomForest" {
+		t.Errorf("winner = %s, want RandomForest (paper)", r.Winner)
+	}
+}
+
+func TestLatencyShape(t *testing.T) {
+	scale := QuickScale(556)
+	scale.Infected = 150
+	scale.NonIoT = 30
+	r, err := Latency(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Found {
+		t.Fatal("injected scan never surfaced")
+	}
+	// Feed latency ≈ collection + processing + remainder of the hour:
+	// between ~3.8 h and ~6 h, bracketing the paper's 5 h 12 m.
+	if r.FeedLatency < 3*time.Hour || r.FeedLatency > 7*time.Hour {
+		t.Errorf("feed latency = %v, want ≈5 h", r.FeedLatency)
+	}
+	if r.StartError > 2*time.Minute {
+		t.Errorf("start error = %v, want seconds (paper 24 s)", r.StartError)
+	}
+	if r.EndError > time.Hour {
+		t.Errorf("end error = %v, want minutes (paper 13 m)", r.EndError)
+	}
+	if r.ReportedTool != "ZMap" {
+		t.Errorf("tool = %q, want ZMap", r.ReportedTool)
+	}
+	if !strings.Contains(r.ReportedType, "non-IoT") {
+		t.Errorf("type = %q, want Desktop (non-IoT)", r.ReportedType)
+	}
+	if r.GreyNoiseIndexed && r.GreyNoiseLatency <= r.FeedLatency {
+		t.Errorf("GreyNoise (%v) should lag eX-IoT (%v)", r.GreyNoiseLatency, r.FeedLatency)
+	}
+}
+
+func TestThroughputShape(t *testing.T) {
+	r := Throughput(QuickScale(557))
+	if r.Packets == 0 {
+		t.Fatal("no packets")
+	}
+	if r.PacketsPerSec < 100000 {
+		t.Errorf("throughput = %.0f pkts/s; the detector should sustain >100k", r.PacketsPerSec)
+	}
+	if r.SecondReports == 0 {
+		t.Error("no per-second reports")
+	}
+}
+
+func TestBannerAvailabilityShape(t *testing.T) {
+	scale := QuickScale(558)
+	scale.Infected = 2500
+	r := BannerAvailability(scale)
+	frac := float64(r.ReturningBanner) / float64(r.Infected)
+	if frac < 0.05 || frac > 0.16 {
+		t.Errorf("banner fraction = %.3f, want ≈0.10", frac)
+	}
+	textual := float64(r.TextualBanner) / float64(r.Infected)
+	if textual < 0.01 || textual > 0.07 {
+		t.Errorf("textual fraction = %.3f, want ≈0.03", textual)
+	}
+}
+
+func TestAblationTRWShape(t *testing.T) {
+	r := AblationTRW(QuickScale(559))
+	if len(r.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	var noFloor, withFloor *TRWAblationRow
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		if row.Threshold == 25 && row.MinDuration < 0 {
+			noFloor = row
+		}
+		if row.Threshold == 25 && row.MinDuration == time.Minute {
+			withFloor = row
+		}
+	}
+	if noFloor == nil || withFloor == nil {
+		t.Fatal("sweep missing operating points")
+	}
+	// The duration floor exists to exclude misconfiguration bursts.
+	if noFloor.MisconfigCaught == 0 {
+		t.Skip("no misconfig bursts crossed the low threshold this seed")
+	}
+	if withFloor.MisconfigCaught >= noFloor.MisconfigCaught {
+		t.Errorf("duration floor did not reduce misconfig admits: %d vs %d",
+			withFloor.MisconfigCaught, noFloor.MisconfigCaught)
+	}
+}
+
+func TestAblationSampleSizeShape(t *testing.T) {
+	r := AblationSampleSize(QuickScale(560))
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Bigger samples should not be dramatically worse than tiny ones.
+	small, big := r.Rows[0], r.Rows[len(r.Rows)-1]
+	if big.AUC < small.AUC-0.1 {
+		t.Errorf("AUC degraded with sample size: %0.3f @%d vs %0.3f @%d",
+			small.AUC, small.SampleSize, big.AUC, big.SampleSize)
+	}
+}
+
+func TestAblationFeatureSetShape(t *testing.T) {
+	r := AblationFeatureSet(QuickScale(561))
+	byName := map[string]float64{}
+	for _, row := range r.Rows {
+		byName[row.Name] = row.AUC
+	}
+	if byName["full (120)"] < 0.8 {
+		t.Errorf("full feature AUC = %.3f, want high", byName["full (120)"])
+	}
+	if byName["ports-only"] > byName["full (120)"]+0.02 {
+		t.Errorf("ports-only (%.3f) should not beat full (%.3f)",
+			byName["ports-only"], byName["full (120)"])
+	}
+}
+
+func TestAblationForestSizeShape(t *testing.T) {
+	r := AblationForestSize(QuickScale(562))
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	single, big := r.Rows[0], r.Rows[len(r.Rows)-1]
+	if big.AUC < single.AUC-0.05 {
+		t.Errorf("forest growth hurt AUC: 1 tree %.3f vs %d trees %.3f",
+			single.AUC, big.Trees, big.AUC)
+	}
+}
+
+func TestAblationTrainingWindowShape(t *testing.T) {
+	e := sharedEnv(t)
+	r := AblationTrainingWindow(e)
+	if len(r.Rows) == 0 {
+		t.Skip("insufficient labeled data")
+	}
+	for _, row := range r.Rows {
+		if row.AUC < 0.5 {
+			t.Errorf("window %dh: AUC = %.3f below chance", row.WindowHours, row.AUC)
+		}
+	}
+}
+
+func TestCampaignsShape(t *testing.T) {
+	e := sharedEnv(t)
+	r := Campaigns(e)
+	if len(r.Campaigns) == 0 {
+		t.Fatal("no campaigns inferred")
+	}
+	// Campaigns cluster malware families: members must dominantly share
+	// a ground-truth family.
+	if r.FamilyPurity < 0.5 {
+		t.Errorf("family purity = %.2f, want cohesive campaigns", r.FamilyPurity)
+	}
+	if r.Campaigns[0].Size < r.Campaigns[len(r.Campaigns)-1].Size {
+		t.Error("campaigns not sorted by size")
+	}
+}
+
+func TestAdaptivityShape(t *testing.T) {
+	scale := QuickScale(563)
+	scale.Infected = 250
+	scale.NonIoT = 50
+	r, err := Adaptivity(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EmergingHosts < 40 {
+		t.Fatalf("emerging hosts = %d", r.EmergingHosts)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatal("no emerging-family records surfaced")
+	}
+	// The new family must produce model-labeled flows on at least two
+	// days so adaptation is observable.
+	daysWithModel := 0
+	for _, row := range r.Rows {
+		if row.ModelLabeled > 0 {
+			daysWithModel++
+		}
+	}
+	if daysWithModel < 2 {
+		t.Skipf("only %d days with model labels; cannot observe adaptation", daysWithModel)
+	}
+	// Adaptation: the final-day rate should not collapse below the
+	// emergence-day rate.
+	if r.LastDayRate < r.FirstDayRate-0.15 {
+		t.Errorf("IoT rate degraded: first %.2f → last %.2f", r.FirstDayRate, r.LastDayRate)
+	}
+}
+
+func TestFeatureImportanceShape(t *testing.T) {
+	r := FeatureImportance(QuickScale(564))
+	if len(r.FieldRows) == 0 {
+		t.Fatal("no importances")
+	}
+	var sum float64
+	for _, row := range r.FieldRows {
+		if row.Importance < 0 {
+			t.Fatalf("negative importance: %+v", row)
+		}
+		sum += row.Importance
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("field importances sum to %.3f, want 1", sum)
+	}
+	// The behavioural fields the paper highlights must matter: at least
+	// one of inter-arrival / dst-port / window / options in the top 5.
+	key := map[string]bool{
+		"inter_arrival": true, "dst_port": true, "window_size": true,
+		"opt_wscale": true, "opt_mss": true, "opt_timestamp": true,
+		"opt_sack_permitted": true, "ttl": true,
+	}
+	top := r.FieldRows
+	if len(top) > 5 {
+		top = top[:5]
+	}
+	found := false
+	for _, row := range top {
+		if key[row.Feature] {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no behavioural field in top 5: %+v", top)
+	}
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"exiot/internal/core"
+	"exiot/internal/feed"
+	"exiot/internal/thirdparty"
+)
+
+// LatencyResult is E6: the controlled-scan latency experiment of §V-B.
+type LatencyResult struct {
+	ScanStart time.Time
+	ScanEnd   time.Time
+	Found     bool
+
+	Record        feed.Record
+	FeedLatency   time.Duration // scan start → appearance in the feed
+	StartError    time.Duration // |recorded start − true start|
+	EndError      time.Duration // |recorded end − true end|
+	ReportedType  string
+	ReportedTool  string
+	CollectionLag time.Duration // configured CAIDA-side delay
+
+	GreyNoiseIndexed bool
+	GreyNoiseLatency time.Duration
+	DShieldIndexed   bool
+}
+
+// Latency runs the paper's controlled experiment: a ZMap sweep of port 80
+// at 1000 pps for 3 hours is injected at a known instant; the experiment
+// measures how long the scan takes to surface in each feed and how
+// accurate the recorded start/end times are.
+func Latency(scale Scale) (LatencyResult, error) {
+	cfg := scale.systemConfig()
+	// Keep the injected scanner uncapped so its flow-end estimate is
+	// driven by the detector, not the memory cap.
+	cfg.World.MaxPacketsPerHostHour = 16000
+	sys := core.NewSystem(cfg)
+	w := sys.World()
+
+	scanStart := w.Start().Add(7*time.Hour + 30*time.Minute)
+	scanDur := 3 * time.Hour
+	ip := w.InjectZMapScan(scanStart, scanDur, 80, 1000)
+
+	if err := sys.RunAll(); err != nil {
+		return LatencyResult{}, err
+	}
+
+	res := LatencyResult{
+		ScanStart:     scanStart,
+		ScanEnd:       scanStart.Add(scanDur),
+		CollectionLag: cfg.Pipeline.CollectionDelay + cfg.Pipeline.ProcessingDelay,
+	}
+	rec, ok := sys.Feed().RecordByIP(ip.String())
+	if !ok {
+		return res, nil
+	}
+	res.Found = true
+	res.Record = rec
+	res.FeedLatency = rec.AppearedAt.Sub(scanStart)
+	res.StartError = absDur(rec.FirstSeen.Sub(scanStart))
+	end := rec.LastSeen
+	if rec.EndedAt != nil {
+		end = *rec.EndedAt
+	}
+	res.EndError = absDur(end.Sub(res.ScanEnd))
+	res.ReportedType = rec.DeviceType
+	res.ReportedTool = rec.Tool
+
+	from, to := w.Start(), w.Start().Add(time.Duration(scale.Days)*24*time.Hour)
+	gn := thirdparty.BuildGreyNoise(w, from, to, scale.Seed)
+	if first, ok := gn.Appearances()[ip.String()]; ok {
+		res.GreyNoiseIndexed = true
+		res.GreyNoiseLatency = first.Sub(scanStart)
+	}
+	ds := thirdparty.BuildDShield(w, from, to, scale.Seed)
+	res.DShieldIndexed = ds.Contains(ip.String())
+	return res, nil
+}
+
+func absDur(d time.Duration) time.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// String renders the latency experiment.
+func (r LatencyResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("Latency — controlled ZMap scan (port 80, 1000 pps, 3 h)\n")
+	if !r.Found {
+		sb.WriteString("  the injected scan never surfaced in the feed (unexpected)\n")
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "  eX-IoT feed latency:   %v (paper: 5 h 12 m; collection+processing lag %v)\n",
+		r.FeedLatency.Round(time.Second), r.CollectionLag)
+	fmt.Fprintf(&sb, "  start-time error:      %v (paper: 24 s)\n", r.StartError.Round(time.Second))
+	fmt.Fprintf(&sb, "  end-time error:        %v (paper: 13 m)\n", r.EndError.Round(time.Second))
+	fmt.Fprintf(&sb, "  reported as:           %q, tool %q (paper: Desktop (non-IoT), ZMap)\n",
+		r.ReportedType, r.ReportedTool)
+	if r.GreyNoiseIndexed {
+		fmt.Fprintf(&sb, "  GreyNoise latency:     %v (paper: ≈10 h, tool mislabeled Nmap)\n",
+			r.GreyNoiseLatency.Round(time.Minute))
+	} else {
+		sb.WriteString("  GreyNoise latency:     not indexed\n")
+	}
+	fmt.Fprintf(&sb, "  DShield indexed:       %v (paper: no)\n", r.DShieldIndexed)
+	return sb.String()
+}

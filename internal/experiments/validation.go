@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"exiot/internal/feed"
+	"exiot/internal/packet"
+	"exiot/internal/thirdparty"
+)
+
+// ValidationResult is E8: the §V-A cross-validation against Bad Packets
+// honeypots and the Czech CSIRT's NERD database.
+type ValidationResult struct {
+	IoTIndicators int
+	OverallRate   float64
+
+	CzechIndicators int
+	CzechRate       float64
+}
+
+// Validation cross-validates the run's IoT detections against the two
+// collaborating sources.
+func Validation(e *Env) ValidationResult {
+	iot := e.IoTIndicators()
+	res := ValidationResult{
+		IoTIndicators: iot.Len(),
+		OverallRate:   thirdparty.ValidationRate(iot, e.BadPackets, e.NERD),
+	}
+
+	// Czech-specific validation against the CSIRT database alone.
+	reg := e.Sys.World().Registry()
+	cz := make(feed.IndicatorSet)
+	for ip := range iot {
+		parsed, err := packet.ParseIP(ip)
+		if err != nil {
+			continue
+		}
+		if info, ok := reg.Lookup(parsed); ok && info.CountryCode == "CZ" {
+			cz.Add(ip)
+		}
+	}
+	res.CzechIndicators = cz.Len()
+	if cz.Len() > 0 {
+		res.CzechRate = thirdparty.ValidationRate(cz, e.NERD)
+	}
+	return res
+}
+
+// String renders the validation experiment.
+func (r ValidationResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("Initial CTI validation — Bad Packets honeypots + Czech CSIRT (NERD)\n")
+	fmt.Fprintf(&sb, "  IoT detections validated overall: %.1f%% of %d (paper: ≈70%%)\n",
+		100*r.OverallRate, r.IoTIndicators)
+	if r.CzechIndicators > 0 {
+		fmt.Fprintf(&sb, "  Czech detections validated by CSIRT: %.1f%% of %d (paper: ≈83%%)\n",
+			100*r.CzechRate, r.CzechIndicators)
+	} else {
+		sb.WriteString("  no Czech IoT detections in this run\n")
+	}
+	return sb.String()
+}

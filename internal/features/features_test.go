@@ -1,0 +1,287 @@
+package features
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"exiot/internal/packet"
+	"exiot/internal/simnet"
+)
+
+func sampleFlow(n int, gap time.Duration) []packet.Packet {
+	t0 := time.Date(2020, 12, 9, 7, 0, 0, 0, time.UTC)
+	out := make([]packet.Packet, 0, n)
+	for i := 0; i < n; i++ {
+		p := packet.Packet{
+			Timestamp: t0.Add(time.Duration(i) * gap),
+			Proto:     packet.TCP,
+			SrcIP:     packet.MustParseIP("203.0.113.1"),
+			DstIP:     packet.IP(uint32(i) * 7919),
+			SrcPort:   uint16(40000 + i),
+			DstPort:   23,
+			Seq:       uint32(i) * 1000,
+			Flags:     packet.FlagSYN,
+			Window:    5840,
+			TTL:       48,
+			Options:   packet.TCPOptions{HasMSS: true, MSS: 1460},
+		}
+		p.Normalize()
+		out = append(out, p)
+	}
+	return out
+}
+
+func TestTableIIFields(t *testing.T) {
+	// E2: the feature layout must match Table II — 24 fields × 5 stats.
+	if NumFields != 24 {
+		t.Errorf("NumFields = %d, want 24 (Table II)", NumFields)
+	}
+	if Dim != 120 {
+		t.Errorf("Dim = %d, want 120 (24×5)", Dim)
+	}
+	want := map[string]bool{
+		"protocol": true, "dst_port": true, "total_length": true,
+		"tcp_offset": true, "tcp_data_length": true, "inter_arrival": true,
+		"tos": true, "identification": true, "ttl": true, "src_ip": true,
+		"dst_ip": true, "src_port": true, "sequence": true,
+		"ack_sequence": true, "reserved": true, "flags": true,
+		"window_size": true, "urgent_pointer": true, "opt_wscale": true,
+		"opt_mss": true, "opt_timestamp": true, "opt_nop": true,
+		"opt_sack_permitted": true, "opt_sack": true,
+	}
+	for _, name := range FieldNames {
+		if !want[name] {
+			t.Errorf("unexpected field %q", name)
+		}
+		delete(want, name)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing Table II fields: %v", want)
+	}
+}
+
+func TestFeatureName(t *testing.T) {
+	if got := FeatureName(0); got != "protocol:min" {
+		t.Errorf("FeatureName(0) = %q", got)
+	}
+	if got := FeatureName(Dim - 1); got != "opt_sack:max" {
+		t.Errorf("FeatureName(last) = %q", got)
+	}
+}
+
+func TestRawVectorShape(t *testing.T) {
+	v, err := RawVector(sampleFlow(200, 100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != Dim {
+		t.Fatalf("len = %d, want %d", len(v), Dim)
+	}
+	// Constant fields: min == max.
+	protoMin, protoMax := v[FieldProto*NumStats], v[FieldProto*NumStats+4]
+	if protoMin != float64(packet.TCP) || protoMax != float64(packet.TCP) {
+		t.Errorf("protocol stats = [%v..%v], want constant 6", protoMin, protoMax)
+	}
+	// Monotone stats: min ≤ q1 ≤ median ≤ q3 ≤ max for every field.
+	for f := 0; f < NumFields; f++ {
+		s := v[f*NumStats : f*NumStats+NumStats]
+		for k := 1; k < NumStats; k++ {
+			if s[k] < s[k-1] {
+				t.Errorf("field %s stats not monotone: %v", FieldNames[f], s)
+			}
+		}
+	}
+	// Inter-arrival median ≈ 0.1 s.
+	med := v[FieldInterArrival*NumStats+2]
+	if math.Abs(med-0.1) > 1e-9 {
+		t.Errorf("inter-arrival median = %v, want 0.1", med)
+	}
+	// First packet contributes inter-arrival 0 → min is 0.
+	if v[FieldInterArrival*NumStats] != 0 {
+		t.Errorf("inter-arrival min = %v, want 0", v[FieldInterArrival*NumStats])
+	}
+}
+
+func TestRawVectorErrors(t *testing.T) {
+	if _, err := RawVector(nil); err == nil {
+		t.Error("empty sample should error")
+	}
+	flow := sampleFlow(5, time.Second)
+	flow[2].Timestamp = flow[0].Timestamp.Add(-time.Second)
+	if _, err := RawVector(flow); err == nil {
+		t.Error("out-of-order sample should error")
+	}
+}
+
+func TestRawVectorSinglePacket(t *testing.T) {
+	v, err := RawVector(sampleFlow(1, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < NumFields; f++ {
+		s := v[f*NumStats : f*NumStats+NumStats]
+		for k := 1; k < NumStats; k++ {
+			if s[k] != s[0] {
+				t.Fatalf("single-packet stats must be constant, field %s: %v", FieldNames[f], s)
+			}
+		}
+	}
+}
+
+func TestQuantileSorted(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := quantileSorted(vals, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Interpolation between elements.
+	if got := quantileSorted([]float64{0, 10}, 0.5); got != 5 {
+		t.Errorf("interpolated median = %v, want 5", got)
+	}
+	if got := quantileSorted([]float64{7}, 0.75); got != 7 {
+		t.Errorf("single-element quantile = %v, want 7", got)
+	}
+}
+
+func TestNormalizerMapsTrainingToCenteredUnit(t *testing.T) {
+	raw := [][]float64{
+		{0, 100},
+		{5, 200},
+		{10, 300},
+	}
+	n, err := FitNormalizer(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range raw {
+		out := n.Apply(v)
+		for j, x := range out {
+			if x < -1 || x > 1 {
+				t.Errorf("normalized value %v out of [-1,1] (dim %d)", x, j)
+			}
+		}
+	}
+	// Mean of normalized training data must be ~0 per dimension.
+	sums := make([]float64, 2)
+	for _, v := range raw {
+		out := n.Apply(v)
+		for j, x := range out {
+			sums[j] += x
+		}
+	}
+	for j, s := range sums {
+		if math.Abs(s/float64(len(raw))) > 1e-12 {
+			t.Errorf("dim %d: normalized training mean = %v, want 0", j, s/3)
+		}
+	}
+}
+
+func TestNormalizerConstantDimension(t *testing.T) {
+	raw := [][]float64{{5, 1}, {5, 2}, {5, 3}}
+	n, err := FitNormalizer(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := n.Apply([]float64{5, 2})
+	if out[0] != 0 {
+		t.Errorf("constant dim should normalize to 0, got %v", out[0])
+	}
+	// Even unseen values in a constant dim stay finite.
+	out = n.Apply([]float64{99, 2})
+	if math.IsNaN(out[0]) || math.IsInf(out[0], 0) {
+		t.Errorf("constant dim produced %v", out[0])
+	}
+}
+
+func TestNormalizerErrors(t *testing.T) {
+	if _, err := FitNormalizer(nil); err == nil {
+		t.Error("empty fit should error")
+	}
+	if _, err := FitNormalizer([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged vectors should error")
+	}
+}
+
+func TestNormalizerPropertyFiniteOutputs(t *testing.T) {
+	raw := [][]float64{{0, -5}, {10, 5}, {3, 0}}
+	n, err := FitNormalizer(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		out := n.Apply([]float64{a, b})
+		return !math.IsNaN(out[0]) && !math.IsNaN(out[1]) &&
+			!math.IsInf(out[0], 0) && !math.IsInf(out[1], 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIoTVsToolVectorsSeparable sanity-checks that the simulator's two
+// populations are distinguishable in feature space at all — the premise
+// of the whole learning pipeline.
+func TestIoTVsToolVectorsSeparable(t *testing.T) {
+	cfg := simnet.DefaultConfig(21)
+	cfg.NumInfected = 30
+	cfg.NumNonIoT = 30
+	cfg.NumResearch = 2
+	cfg.NumMisconfig = 0
+	cfg.NumBackscat = 0
+	w := simnet.NewWorld(cfg)
+	pkts := w.GenerateHour(w.Start())
+
+	bySrc := map[packet.IP][]packet.Packet{}
+	for _, p := range pkts {
+		if len(bySrc[p.SrcIP]) < 200 {
+			bySrc[p.SrcIP] = append(bySrc[p.SrcIP], p)
+		}
+	}
+	var iotMedianIA, toolMedianIA []float64
+	for ip, sample := range bySrc {
+		if len(sample) < 50 {
+			continue
+		}
+		v, err := RawVector(sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, ok := w.HostByIP(ip)
+		if !ok {
+			continue
+		}
+		med := v[FieldInterArrival*NumStats+2]
+		switch h.Kind {
+		case simnet.KindInfectedIoT:
+			iotMedianIA = append(iotMedianIA, med)
+		case simnet.KindNonIoTScanner, simnet.KindResearchScanner:
+			toolMedianIA = append(toolMedianIA, med)
+		}
+	}
+	if len(iotMedianIA) == 0 || len(toolMedianIA) == 0 {
+		t.Skip("not enough flows this hour")
+	}
+	if mean(iotMedianIA) <= mean(toolMedianIA) {
+		t.Errorf("IoT inter-arrival (%.4f) should exceed tool inter-arrival (%.4f)",
+			mean(iotMedianIA), mean(toolMedianIA))
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,109 @@
+// Package feed defines eX-IoT's CTI record — the unit of threat
+// intelligence the pipeline produces and the API serves — plus the
+// feed-quality metrics of the paper's evaluation (volume, differential
+// and exclusive contribution, normalized intersection, latency, and
+// precision/coverage).
+package feed
+
+import (
+	"time"
+
+	"exiot/internal/zmap"
+)
+
+// Label values for the binary classifier outcome.
+const (
+	LabelIoT    = "IoT"
+	LabelNonIoT = "non-IoT"
+)
+
+// Label sources.
+const (
+	// SourceBanner marks labels derived from fingerprinted banners
+	// (ground truth for training).
+	SourceBanner = "banner"
+	// SourceModel marks labels predicted by the classifier.
+	SourceModel = "model"
+)
+
+// Record is one CTI feed entry about a scanning source.
+type Record struct {
+	IP string `json:"ip"`
+
+	// Flow timeline.
+	FirstSeen  time.Time  `json:"first_seen"`
+	DetectedAt time.Time  `json:"detected_at"`
+	LastSeen   time.Time  `json:"last_seen"`
+	EndedAt    *time.Time `json:"ended_at,omitempty"`
+	Active     bool       `json:"active"`
+	// AppearedAt is when the record became visible in the feed — it lags
+	// DetectedAt by collection, batching, and processing delays and is
+	// what the latency evaluation measures.
+	AppearedAt time.Time `json:"appeared_at"`
+
+	// Classification.
+	Label       string  `json:"label"`
+	Score       float64 `json:"score"`
+	LabelSource string  `json:"label_source"`
+	Benign      bool    `json:"benign"`
+	Tool        string  `json:"tool,omitempty"`
+
+	// Device details (when banners allow).
+	Vendor     string `json:"vendor,omitempty"`
+	DeviceType string `json:"device_type,omitempty"`
+	Model      string `json:"model,omitempty"`
+	Firmware   string `json:"firmware,omitempty"`
+
+	// Geo / WHOIS enrichment.
+	Country     string  `json:"country,omitempty"`
+	CountryCode string  `json:"country_code,omitempty"`
+	Continent   string  `json:"continent,omitempty"`
+	City        string  `json:"city,omitempty"`
+	Lat         float64 `json:"lat,omitempty"`
+	Lon         float64 `json:"lon,omitempty"`
+	ASN         int     `json:"asn,omitempty"`
+	ISP         string  `json:"isp,omitempty"`
+	Org         string  `json:"org,omitempty"`
+	Sector      string  `json:"sector,omitempty"`
+	RDNS        string  `json:"rdns,omitempty"`
+	Domain      string  `json:"domain,omitempty"`
+	AbuseEmail  string  `json:"abuse_email,omitempty"`
+
+	// Traffic characterization.
+	TargetPorts    map[uint16]int `json:"target_ports,omitempty"`
+	ScanRatePPS    float64        `json:"scan_rate_pps,omitempty"`
+	AddrRepetition float64        `json:"addr_repetition,omitempty"`
+
+	// Active measurement results.
+	OpenPorts []uint16      `json:"open_ports,omitempty"`
+	Banners   []zmap.Banner `json:"banners,omitempty"`
+}
+
+// IsIoT reports whether the record is labeled IoT.
+func (r *Record) IsIoT() bool { return r.Label == LabelIoT }
+
+// TopPorts returns the record's n most targeted ports, descending.
+func (r *Record) TopPorts(n int) []uint16 {
+	type pc struct {
+		port  uint16
+		count int
+	}
+	items := make([]pc, 0, len(r.TargetPorts))
+	for p, c := range r.TargetPorts {
+		items = append(items, pc{p, c})
+	}
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && (items[j].count > items[j-1].count ||
+			(items[j].count == items[j-1].count && items[j].port < items[j-1].port)); j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+	if n > len(items) {
+		n = len(items)
+	}
+	out := make([]uint16, n)
+	for i := 0; i < n; i++ {
+		out[i] = items[i].port
+	}
+	return out
+}

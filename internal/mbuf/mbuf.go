@@ -1,0 +1,87 @@
+// Package mbuf provides the bounded in-memory FIFO that decouples
+// pipeline stages with mismatched processing rates — the role mbuffer's
+// 15 GB FIFO plays between the receiver and the processing modules in the
+// paper's deployment. Producers block when the buffer is full
+// (back-pressure), consumers block when it is empty.
+package mbuf
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrClosed is returned by Push after Close.
+var ErrClosed = errors.New("mbuf: buffer closed")
+
+// Buffer is a bounded FIFO of T, safe for concurrent producers and
+// consumers.
+type Buffer[T any] struct {
+	ch        chan T
+	closeOnce sync.Once
+
+	pushed    atomic.Int64
+	popped    atomic.Int64
+	highWater atomic.Int64
+}
+
+// New creates a buffer holding up to capacity items.
+func New[T any](capacity int) *Buffer[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Buffer[T]{ch: make(chan T, capacity)}
+}
+
+// Push enqueues item, blocking while the buffer is full. It returns
+// ErrClosed if the buffer has been closed.
+func (b *Buffer[T]) Push(item T) (err error) {
+	defer func() {
+		if recover() != nil {
+			err = ErrClosed
+		}
+	}()
+	b.ch <- item
+	b.pushed.Add(1)
+	if n := int64(len(b.ch)); n > b.highWater.Load() {
+		b.highWater.Store(n)
+	}
+	return nil
+}
+
+// Pop dequeues the oldest item, blocking while the buffer is empty. ok is
+// false once the buffer is closed and drained.
+func (b *Buffer[T]) Pop() (item T, ok bool) {
+	item, ok = <-b.ch
+	if ok {
+		b.popped.Add(1)
+	}
+	return item, ok
+}
+
+// TryPop dequeues without blocking; ok is false when nothing is ready.
+func (b *Buffer[T]) TryPop() (item T, ok bool) {
+	select {
+	case item, ok = <-b.ch:
+		if ok {
+			b.popped.Add(1)
+		}
+		return item, ok
+	default:
+		var zero T
+		return zero, false
+	}
+}
+
+// Close marks the end of input. Pending items remain poppable.
+func (b *Buffer[T]) Close() {
+	b.closeOnce.Do(func() { close(b.ch) })
+}
+
+// Len returns the number of buffered items.
+func (b *Buffer[T]) Len() int { return len(b.ch) }
+
+// Stats reports lifetime counters: pushed, popped, and high-water mark.
+func (b *Buffer[T]) Stats() (pushed, popped, highWater int64) {
+	return b.pushed.Load(), b.popped.Load(), b.highWater.Load()
+}

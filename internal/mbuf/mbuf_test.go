@@ -1,0 +1,153 @@
+package mbuf
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	b := New[int](100)
+	for i := 0; i < 50; i++ {
+		if err := b.Push(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		v, ok := b.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop %d = %d, %v", i, v, ok)
+		}
+	}
+}
+
+func TestBackPressure(t *testing.T) {
+	b := New[int](2)
+	if err := b.Push(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Push(2); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		b.Push(3) // must block until a Pop frees space
+	}()
+	select {
+	case <-done:
+		t.Fatal("Push did not block on a full buffer")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if v, ok := b.Pop(); !ok || v != 1 {
+		t.Fatalf("Pop = %d, %v", v, ok)
+	}
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Push stayed blocked after space freed")
+	}
+}
+
+func TestCloseSemantics(t *testing.T) {
+	b := New[string](4)
+	b.Push("a")
+	b.Close()
+	b.Close() // idempotent
+	if err := b.Push("b"); !errors.Is(err, ErrClosed) {
+		t.Errorf("Push after Close = %v, want ErrClosed", err)
+	}
+	if v, ok := b.Pop(); !ok || v != "a" {
+		t.Errorf("pending item lost after Close: %q, %v", v, ok)
+	}
+	if _, ok := b.Pop(); ok {
+		t.Error("Pop after drain should report !ok")
+	}
+}
+
+func TestTryPop(t *testing.T) {
+	b := New[int](4)
+	if _, ok := b.TryPop(); ok {
+		t.Error("TryPop on empty buffer succeeded")
+	}
+	b.Push(7)
+	if v, ok := b.TryPop(); !ok || v != 7 {
+		t.Errorf("TryPop = %d, %v", v, ok)
+	}
+}
+
+func TestStats(t *testing.T) {
+	b := New[int](10)
+	for i := 0; i < 8; i++ {
+		b.Push(i)
+	}
+	for i := 0; i < 3; i++ {
+		b.Pop()
+	}
+	pushed, popped, hw := b.Stats()
+	if pushed != 8 || popped != 3 {
+		t.Errorf("stats = %d pushed, %d popped", pushed, popped)
+	}
+	if hw < 5 || hw > 8 {
+		t.Errorf("high water = %d, want within [5,8]", hw)
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	b := New[int](16)
+	const producers, perProducer = 4, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := b.Push(p*perProducer + i); err != nil {
+					t.Errorf("push: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	go func() {
+		wg.Wait()
+		b.Close()
+	}()
+
+	seen := make(map[int]bool, producers*perProducer)
+	var mu sync.Mutex
+	var cwg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				v, ok := b.Pop()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				if seen[v] {
+					t.Errorf("duplicate item %d", v)
+				}
+				seen[v] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	cwg.Wait()
+	if len(seen) != producers*perProducer {
+		t.Errorf("consumed %d items, want %d", len(seen), producers*perProducer)
+	}
+}
+
+func TestMinimumCapacity(t *testing.T) {
+	b := New[int](0)
+	if err := b.Push(1); err != nil {
+		t.Fatal("capacity floor broken")
+	}
+	if v, ok := b.Pop(); !ok || v != 1 {
+		t.Fatal("roundtrip broken")
+	}
+}

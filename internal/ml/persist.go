@@ -1,0 +1,84 @@
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// SavedModel wraps a forest with its training metadata, matching the
+// paper's practice of archiving every daily model with its training
+// timestamp "to make the results easily reproducible".
+type SavedModel struct {
+	TrainedAt    time.Time `json:"trained_at"`
+	WindowDays   int       `json:"window_days"`
+	TrainSamples int       `json:"train_samples"`
+	TestSamples  int       `json:"test_samples"`
+	AUC          float64   `json:"auc"`
+	F1           float64   `json:"f1"`
+	Forest       *Forest   `json:"forest"`
+	// Normalizer carries the training-anchored feature scaler (owned by
+	// a higher layer; persisted opaquely so a loaded model can actually
+	// score raw flows).
+	Normalizer json.RawMessage `json:"normalizer,omitempty"`
+}
+
+// modelFileName renders the canonical archive name for a training time.
+func modelFileName(trainedAt time.Time) string {
+	return "model-" + trainedAt.UTC().Format("20060102-150405") + ".json"
+}
+
+// SaveModel archives the model into dir.
+func SaveModel(dir string, m *SavedModel) (string, error) {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return "", fmt.Errorf("encode model: %w", err)
+	}
+	path := filepath.Join(dir, modelFileName(m.TrainedAt))
+	if err := os.WriteFile(path+".tmp", data, 0o644); err != nil {
+		return "", fmt.Errorf("write model: %w", err)
+	}
+	if err := os.Rename(path+".tmp", path); err != nil {
+		return "", fmt.Errorf("publish model: %w", err)
+	}
+	return path, nil
+}
+
+// LoadModel reads one archived model.
+func LoadModel(path string) (*SavedModel, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("read model: %w", err)
+	}
+	var m SavedModel
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("decode model: %w", err)
+	}
+	if m.Forest == nil {
+		return nil, fmt.Errorf("decode model %s: missing forest", path)
+	}
+	return &m, nil
+}
+
+// LatestModel loads the most recently trained model in dir, or nil when
+// the archive is empty.
+func LatestModel(dir string) (*SavedModel, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("list model dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names) // timestamped names sort chronologically
+	return LoadModel(filepath.Join(dir, names[len(names)-1]))
+}

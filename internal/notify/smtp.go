@@ -1,0 +1,62 @@
+package notify
+
+import (
+	"fmt"
+	"net/smtp"
+	"strings"
+	"time"
+)
+
+// SMTPMailer delivers notifications through a real SMTP relay using
+// net/smtp — the production counterpart of MemoryMailer. The paper's
+// deployment notifies organizations and WHOIS abuse contacts by e-mail;
+// this is that transport.
+type SMTPMailer struct {
+	// Addr is the relay's host:port.
+	Addr string
+	// From is the envelope sender and From: header.
+	From string
+	// Auth optionally authenticates against the relay.
+	Auth smtp.Auth
+	// Now stamps the Date header (defaults to time.Now).
+	Now func() time.Time
+}
+
+var _ Mailer = (*SMTPMailer)(nil)
+
+// Send delivers one message.
+func (m *SMTPMailer) Send(to, subject, body string) error {
+	if m.Addr == "" || m.From == "" {
+		return fmt.Errorf("smtp mailer: addr and from are required")
+	}
+	now := time.Now
+	if m.Now != nil {
+		now = m.Now
+	}
+	msg := buildMessage(m.From, to, subject, body, now())
+	if err := smtp.SendMail(m.Addr, m.Auth, m.From, []string{to}, msg); err != nil {
+		return fmt.Errorf("smtp send to %s: %w", to, err)
+	}
+	return nil
+}
+
+// buildMessage assembles a minimal RFC 5322 message. Header injection is
+// neutralized by stripping CR/LF from caller-supplied header values.
+func buildMessage(from, to, subject, body string, date time.Time) []byte {
+	clean := func(s string) string {
+		s = strings.ReplaceAll(s, "\r", " ")
+		return strings.ReplaceAll(s, "\n", " ")
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "From: %s\r\n", clean(from))
+	fmt.Fprintf(&sb, "To: %s\r\n", clean(to))
+	fmt.Fprintf(&sb, "Subject: %s\r\n", clean(subject))
+	fmt.Fprintf(&sb, "Date: %s\r\n", date.Format(time.RFC1123Z))
+	sb.WriteString("MIME-Version: 1.0\r\n")
+	sb.WriteString("Content-Type: text/plain; charset=utf-8\r\n")
+	sb.WriteString("\r\n")
+	// Normalize the body to CRLF line endings.
+	sb.WriteString(strings.ReplaceAll(strings.ReplaceAll(body, "\r\n", "\n"), "\n", "\r\n"))
+	sb.WriteString("\r\n")
+	return []byte(sb.String())
+}

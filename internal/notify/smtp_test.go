@@ -1,0 +1,181 @@
+package notify
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeSMTPServer implements just enough of RFC 5321 to receive one
+// message from net/smtp.
+type fakeSMTPServer struct {
+	ln net.Listener
+
+	mu       sync.Mutex
+	from     string
+	rcpt     []string
+	data     string
+	sessions int
+}
+
+func newFakeSMTPServer(t *testing.T) *fakeSMTPServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &fakeSMTPServer{ln: ln}
+	go s.serve()
+	t.Cleanup(func() { ln.Close() })
+	return s
+}
+
+func (s *fakeSMTPServer) addr() string { return s.ln.Addr().String() }
+
+func (s *fakeSMTPServer) serve() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		go s.session(conn)
+	}
+}
+
+func (s *fakeSMTPServer) session(conn net.Conn) {
+	defer conn.Close()
+	s.mu.Lock()
+	s.sessions++
+	s.mu.Unlock()
+
+	r := bufio.NewReader(conn)
+	write := func(line string) { conn.Write([]byte(line + "\r\n")) }
+	write("220 fake.example ESMTP")
+	inData := false
+	var data strings.Builder
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if inData {
+			if line == "." {
+				s.mu.Lock()
+				s.data = data.String()
+				s.mu.Unlock()
+				inData = false
+				write("250 ok: queued")
+				continue
+			}
+			data.WriteString(line + "\n")
+			continue
+		}
+		switch {
+		case strings.HasPrefix(strings.ToUpper(line), "EHLO"):
+			write("250-fake.example")
+			write("250 8BITMIME")
+		case strings.HasPrefix(strings.ToUpper(line), "HELO"):
+			write("250 fake.example")
+		case strings.HasPrefix(strings.ToUpper(line), "MAIL FROM:"):
+			s.mu.Lock()
+			s.from = line[len("MAIL FROM:"):]
+			s.mu.Unlock()
+			write("250 ok")
+		case strings.HasPrefix(strings.ToUpper(line), "RCPT TO:"):
+			s.mu.Lock()
+			s.rcpt = append(s.rcpt, line[len("RCPT TO:"):])
+			s.mu.Unlock()
+			write("250 ok")
+		case strings.EqualFold(line, "DATA"):
+			inData = true
+			write("354 end with .")
+		case strings.EqualFold(line, "QUIT"):
+			write("221 bye")
+			return
+		default:
+			write("250 ok")
+		}
+	}
+}
+
+func (s *fakeSMTPServer) received() (from string, rcpt []string, data string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.from, append([]string(nil), s.rcpt...), s.data
+}
+
+func TestSMTPMailerDelivers(t *testing.T) {
+	srv := newFakeSMTPServer(t)
+	m := &SMTPMailer{
+		Addr: srv.addr(),
+		From: "exiot@feed.example",
+		Now:  func() time.Time { return time.Date(2020, 12, 9, 12, 0, 0, 0, time.UTC) },
+	}
+	err := m.Send("soc@example.org", "[eX-IoT] Compromised IoT device detected at 1.2.3.4",
+		"eX-IoT detected scanning.\nPlease investigate.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	from, rcpt, data := srv.received()
+	if !strings.Contains(from, "exiot@feed.example") {
+		t.Errorf("MAIL FROM = %q", from)
+	}
+	if len(rcpt) != 1 || !strings.Contains(rcpt[0], "soc@example.org") {
+		t.Errorf("RCPT TO = %v", rcpt)
+	}
+	for _, want := range []string{
+		"Subject: [eX-IoT] Compromised IoT device detected at 1.2.3.4",
+		"From: exiot@feed.example",
+		"To: soc@example.org",
+		"Date: Wed, 09 Dec 2020",
+		"Please investigate.",
+	} {
+		if !strings.Contains(data, want) {
+			t.Errorf("message missing %q in:\n%s", want, data)
+		}
+	}
+}
+
+func TestSMTPMailerHeaderInjectionNeutralized(t *testing.T) {
+	srv := newFakeSMTPServer(t)
+	m := &SMTPMailer{Addr: srv.addr(), From: "exiot@feed.example"}
+	if err := m.Send("soc@example.org", "evil\r\nBcc: victim@example.org", "body"); err != nil {
+		t.Fatal(err)
+	}
+	_, _, data := srv.received()
+	// The Bcc text may survive inline in the subject, but it must never
+	// start a header line of its own.
+	for _, line := range strings.Split(data, "\n") {
+		if strings.HasPrefix(line, "Bcc:") {
+			t.Errorf("header injection not neutralized: %q", line)
+		}
+	}
+	if !strings.Contains(data, "Subject: evil  Bcc: victim@example.org") {
+		t.Errorf("sanitized subject missing:\n%s", data)
+	}
+}
+
+func TestSMTPMailerValidation(t *testing.T) {
+	m := &SMTPMailer{}
+	if err := m.Send("a@b.c", "s", "b"); err == nil {
+		t.Error("unconfigured mailer accepted send")
+	}
+	m = &SMTPMailer{Addr: "127.0.0.1:1", From: "x@y.z"}
+	if err := m.Send("a@b.c", "s", "b"); err == nil {
+		t.Error("dead relay accepted send")
+	}
+}
+
+func TestBuildMessageCRLF(t *testing.T) {
+	msg := string(buildMessage("f@x", "t@y", "subj", "line1\nline2", time.Unix(0, 0)))
+	if !strings.Contains(msg, "line1\r\nline2") {
+		t.Errorf("body not CRLF-normalized:\n%q", msg)
+	}
+	if !strings.HasSuffix(msg, "\r\n") {
+		t.Error("message must end with CRLF")
+	}
+}

@@ -1,0 +1,132 @@
+// Package organizer implements eX-IoT's Packet Organizer module: it
+// receives sampled flows, groups the packets by source address and
+// arrival time, and drops sources that did not yield enough samples to be
+// usable by the classifier — "typically sources that have been
+// erroneously identified as scanners and may be the result of node
+// malfunction on the Internet". Its output is the JSON-encoded batch the
+// buffer carries to the scan and annotate modules.
+package organizer
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"exiot/internal/packet"
+	"exiot/internal/trw"
+)
+
+// DefaultMinSamples is the minimum usable sample size. Flows shorter than
+// this cannot produce stable quartile features.
+const DefaultMinSamples = 50
+
+// Batch is one organized flow, ready for the scan and annotate modules.
+type Batch struct {
+	IP         packet.IP       `json:"-"`
+	IPString   string          `json:"ip"`
+	FirstSeen  time.Time       `json:"first_seen"`
+	DetectedAt time.Time       `json:"detected_at"`
+	Sample     []packet.Packet `json:"-"`
+	// SampleSize is serialized in place of raw packets (the wire carries
+	// packets in binary, not JSON).
+	SampleSize int `json:"sample_size"`
+}
+
+// Organizer filters and normalizes sampled flows.
+type Organizer struct {
+	// MinSamples drops flows sampled below this size.
+	MinSamples int
+
+	accepted int64
+	dropped  int64
+}
+
+// New creates an organizer with the default minimum sample size.
+func New() *Organizer {
+	return &Organizer{MinSamples: DefaultMinSamples}
+}
+
+// Organize converts a detector sample event into a batch. ok is false
+// when the flow is dropped for insufficient samples.
+func (o *Organizer) Organize(e trw.Event) (Batch, bool) {
+	min := o.MinSamples
+	if min <= 0 {
+		min = DefaultMinSamples
+	}
+	if e.Kind != trw.EventSample || len(e.Sample) < min {
+		o.dropped++
+		return Batch{}, false
+	}
+	sample := make([]packet.Packet, len(e.Sample))
+	copy(sample, e.Sample)
+	// Organize by arrival time: the detector emits in order, but merged
+	// streams from multiple capture workers may interleave.
+	sort.SliceStable(sample, func(i, j int) bool {
+		return sample[i].Timestamp.Before(sample[j].Timestamp)
+	})
+	o.accepted++
+	return Batch{
+		IP:         e.IP,
+		IPString:   e.IP.String(),
+		FirstSeen:  e.FirstSeen,
+		DetectedAt: e.DetectedAt,
+		Sample:     sample,
+		SampleSize: len(sample),
+	}, true
+}
+
+// Stats returns (accepted, dropped) counters.
+func (o *Organizer) Stats() (accepted, dropped int64) {
+	return o.accepted, o.dropped
+}
+
+// wireBatch is the transport encoding of a Batch: JSON header plus
+// binary-marshaled packets.
+type wireBatch struct {
+	Header  Batch    `json:"header"`
+	Packets [][]byte `json:"packets"`
+	// Stamps carries packet capture times (binary packet encoding keeps
+	// timestamps out of band, like pcap).
+	Stamps []time.Time `json:"stamps"`
+}
+
+// Encode serializes a batch for the wire.
+func Encode(b *Batch) ([]byte, error) {
+	wb := wireBatch{Header: *b, Packets: make([][]byte, len(b.Sample)), Stamps: make([]time.Time, len(b.Sample))}
+	wb.Header.Sample = nil
+	for i := range b.Sample {
+		wb.Packets[i] = b.Sample[i].Marshal(nil)
+		wb.Stamps[i] = b.Sample[i].Timestamp
+	}
+	data, err := json.Marshal(&wb)
+	if err != nil {
+		return nil, fmt.Errorf("organizer: encode batch: %w", err)
+	}
+	return data, nil
+}
+
+// Decode deserializes a batch from the wire.
+func Decode(data []byte) (Batch, error) {
+	var wb wireBatch
+	if err := json.Unmarshal(data, &wb); err != nil {
+		return Batch{}, fmt.Errorf("organizer: decode batch: %w", err)
+	}
+	if len(wb.Packets) != len(wb.Stamps) {
+		return Batch{}, fmt.Errorf("organizer: %d packets but %d stamps", len(wb.Packets), len(wb.Stamps))
+	}
+	b := wb.Header
+	ip, err := packet.ParseIP(b.IPString)
+	if err != nil {
+		return Batch{}, fmt.Errorf("organizer: decode batch: %w", err)
+	}
+	b.IP = ip
+	b.Sample = make([]packet.Packet, len(wb.Packets))
+	for i, raw := range wb.Packets {
+		if _, err := b.Sample[i].Unmarshal(raw); err != nil {
+			return Batch{}, fmt.Errorf("organizer: decode packet %d: %w", i, err)
+		}
+		b.Sample[i].Timestamp = wb.Stamps[i]
+	}
+	return b, nil
+}

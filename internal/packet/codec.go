@@ -1,0 +1,268 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// TCP option kinds, per RFC 793 / RFC 7323 / RFC 2018.
+const (
+	optEnd           = 0
+	optNOP           = 1
+	optMSS           = 2
+	optWScale        = 3
+	optSACKPermitted = 4
+	optSACK          = 5
+	optTimestamp     = 8
+)
+
+// wireLength returns the encoded byte length of the option set before
+// padding to a 32-bit boundary.
+func (o *TCPOptions) wireLength() int {
+	n := 0
+	if o.HasMSS {
+		n += 4
+	}
+	if o.HasWScale {
+		n += 3
+	}
+	if o.SACKPermitted {
+		n += 2
+	}
+	if o.Timestamp {
+		n += 10
+	}
+	if o.SACK {
+		n += 10 // one SACK block
+	}
+	if o.NOP {
+		n++
+	}
+	return n
+}
+
+func (o *TCPOptions) marshal(buf []byte) int {
+	i := 0
+	if o.HasMSS {
+		buf[i] = optMSS
+		buf[i+1] = 4
+		binary.BigEndian.PutUint16(buf[i+2:], o.MSS)
+		i += 4
+	}
+	if o.HasWScale {
+		buf[i] = optWScale
+		buf[i+1] = 3
+		buf[i+2] = o.WScale
+		i += 3
+	}
+	if o.SACKPermitted {
+		buf[i] = optSACKPermitted
+		buf[i+1] = 2
+		i += 2
+	}
+	if o.Timestamp {
+		buf[i] = optTimestamp
+		buf[i+1] = 10
+		// Timestamp value/echo are not features; zeros suffice.
+		i += 10
+	}
+	if o.SACK {
+		buf[i] = optSACK
+		buf[i+1] = 10
+		i += 10
+	}
+	if o.NOP {
+		buf[i] = optNOP
+		i++
+	}
+	// Pad with end-of-options to the 32-bit boundary.
+	for i%4 != 0 {
+		buf[i] = optEnd
+		i++
+	}
+	return i
+}
+
+func (o *TCPOptions) unmarshal(buf []byte) error {
+	*o = TCPOptions{}
+	i := 0
+	for i < len(buf) {
+		kind := buf[i]
+		switch kind {
+		case optEnd:
+			return nil
+		case optNOP:
+			o.NOP = true
+			i++
+			continue
+		}
+		if i+1 >= len(buf) {
+			return fmt.Errorf("tcp option %d: truncated length", kind)
+		}
+		l := int(buf[i+1])
+		if l < 2 || i+l > len(buf) {
+			return fmt.Errorf("tcp option %d: bad length %d", kind, l)
+		}
+		switch kind {
+		case optMSS:
+			if l != 4 {
+				return fmt.Errorf("mss option: bad length %d", l)
+			}
+			o.HasMSS = true
+			o.MSS = binary.BigEndian.Uint16(buf[i+2:])
+		case optWScale:
+			if l != 3 {
+				return fmt.Errorf("wscale option: bad length %d", l)
+			}
+			o.HasWScale = true
+			o.WScale = buf[i+2]
+		case optSACKPermitted:
+			o.SACKPermitted = true
+		case optSACK:
+			o.SACK = true
+		case optTimestamp:
+			o.Timestamp = true
+		}
+		i += l
+	}
+	return nil
+}
+
+// ipChecksum computes the RFC 1071 ones-complement header checksum over
+// hdr with its checksum field (bytes 10–11) treated as zero.
+func ipChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		if i == 10 {
+			continue // the checksum field itself
+		}
+		sum += uint32(binary.BigEndian.Uint16(hdr[i:]))
+	}
+	for sum > 0xffff {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// Marshal encodes the packet's IPv4 and transport headers into wire format
+// and appends them to dst, returning the extended slice. Payload bytes are
+// not written: a telescope capture keeps headers only, with the claimed
+// on-wire size preserved in TotalLength.
+func (p *Packet) Marshal(dst []byte) []byte {
+	hdrLen := p.HeaderLength()
+	start := len(dst)
+	dst = append(dst, make([]byte, hdrLen)...)
+	b := dst[start:]
+
+	// IPv4 header.
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = p.TOS
+	binary.BigEndian.PutUint16(b[2:], p.TotalLength)
+	binary.BigEndian.PutUint16(b[4:], p.ID)
+	// Flags+fragment offset zero: telescope scan packets are unfragmented.
+	b[8] = p.TTL
+	b[9] = uint8(p.Proto)
+	binary.BigEndian.PutUint32(b[12:], uint32(p.SrcIP))
+	binary.BigEndian.PutUint32(b[16:], uint32(p.DstIP))
+	binary.BigEndian.PutUint16(b[10:], ipChecksum(b[:20]))
+
+	t := b[20:]
+	switch p.Proto {
+	case TCP:
+		binary.BigEndian.PutUint16(t[0:], p.SrcPort)
+		binary.BigEndian.PutUint16(t[2:], p.DstPort)
+		binary.BigEndian.PutUint32(t[4:], p.Seq)
+		binary.BigEndian.PutUint32(t[8:], p.Ack)
+		t[12] = p.DataOffset<<4 | p.Reserved&0x0f
+		t[13] = uint8(p.Flags)
+		binary.BigEndian.PutUint16(t[14:], p.Window)
+		// TCP checksum left zero.
+		binary.BigEndian.PutUint16(t[18:], p.Urgent)
+		p.Options.marshal(t[20:])
+	case UDP:
+		binary.BigEndian.PutUint16(t[0:], p.SrcPort)
+		binary.BigEndian.PutUint16(t[2:], p.DstPort)
+		binary.BigEndian.PutUint16(t[4:], 8+p.PayloadLen)
+	case ICMP:
+		t[0] = p.ICMPType
+		t[1] = p.ICMPCode
+	}
+	return dst
+}
+
+// Unmarshal decodes one packet's headers from buf. The caller supplies the
+// capture timestamp (carried by the pcap record, not the packet itself).
+// It returns the number of header bytes consumed.
+func (p *Packet) Unmarshal(buf []byte) (int, error) {
+	if len(buf) < 20 {
+		return 0, fmt.Errorf("unmarshal packet: short ip header (%d bytes)", len(buf))
+	}
+	if v := buf[0] >> 4; v != 4 {
+		return 0, fmt.Errorf("unmarshal packet: ip version %d", v)
+	}
+	ihl := int(buf[0]&0x0f) * 4
+	if ihl < 20 || len(buf) < ihl {
+		return 0, fmt.Errorf("unmarshal packet: bad ihl %d", ihl)
+	}
+	// Captures from cooperating collectors may zero the checksum; verify
+	// it only when present.
+	if got := binary.BigEndian.Uint16(buf[10:]); got != 0 && ihl == 20 {
+		if want := ipChecksum(buf[:20]); got != want {
+			return 0, fmt.Errorf("unmarshal packet: ip checksum %#04x, want %#04x", got, want)
+		}
+	}
+	*p = Packet{
+		TOS:         buf[1],
+		TotalLength: binary.BigEndian.Uint16(buf[2:]),
+		ID:          binary.BigEndian.Uint16(buf[4:]),
+		TTL:         buf[8],
+		Proto:       Protocol(buf[9]),
+		SrcIP:       IP(binary.BigEndian.Uint32(buf[12:])),
+		DstIP:       IP(binary.BigEndian.Uint32(buf[16:])),
+	}
+	t := buf[ihl:]
+	consumed := ihl
+	switch p.Proto {
+	case TCP:
+		if len(t) < 20 {
+			return 0, fmt.Errorf("unmarshal packet: short tcp header (%d bytes)", len(t))
+		}
+		p.SrcPort = binary.BigEndian.Uint16(t[0:])
+		p.DstPort = binary.BigEndian.Uint16(t[2:])
+		p.Seq = binary.BigEndian.Uint32(t[4:])
+		p.Ack = binary.BigEndian.Uint32(t[8:])
+		p.DataOffset = t[12] >> 4
+		p.Reserved = t[12] & 0x0f
+		p.Flags = TCPFlags(t[13])
+		p.Window = binary.BigEndian.Uint16(t[14:])
+		p.Urgent = binary.BigEndian.Uint16(t[18:])
+		optLen := int(p.DataOffset)*4 - 20
+		if optLen < 0 || len(t) < 20+optLen {
+			return 0, fmt.Errorf("unmarshal packet: bad tcp offset %d", p.DataOffset)
+		}
+		if err := p.Options.unmarshal(t[20 : 20+optLen]); err != nil {
+			return 0, fmt.Errorf("unmarshal packet: %w", err)
+		}
+		consumed += 20 + optLen
+	case UDP:
+		if len(t) < 8 {
+			return 0, fmt.Errorf("unmarshal packet: short udp header (%d bytes)", len(t))
+		}
+		p.SrcPort = binary.BigEndian.Uint16(t[0:])
+		p.DstPort = binary.BigEndian.Uint16(t[2:])
+		consumed += 8
+	case ICMP:
+		if len(t) < 8 {
+			return 0, fmt.Errorf("unmarshal packet: short icmp header (%d bytes)", len(t))
+		}
+		p.ICMPType = t[0]
+		p.ICMPCode = t[1]
+		consumed += 8
+	default:
+		return 0, fmt.Errorf("unmarshal packet: unsupported protocol %d", p.Proto)
+	}
+	if n := int(p.TotalLength) - consumed; n > 0 {
+		p.PayloadLen = uint16(n)
+	}
+	return consumed, nil
+}

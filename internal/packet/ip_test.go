@@ -1,0 +1,110 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIPStringRoundTrip(t *testing.T) {
+	cases := []string{"0.0.0.0", "10.0.0.1", "192.168.255.254", "255.255.255.255", "1.2.3.4"}
+	for _, s := range cases {
+		ip, err := ParseIP(s)
+		if err != nil {
+			t.Fatalf("ParseIP(%q): %v", s, err)
+		}
+		if got := ip.String(); got != s {
+			t.Errorf("ParseIP(%q).String() = %q", s, got)
+		}
+	}
+}
+
+func TestParseIPErrors(t *testing.T) {
+	bad := []string{"", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1..2.3", "-1.2.3.4"}
+	for _, s := range bad {
+		if _, err := ParseIP(s); err == nil {
+			t.Errorf("ParseIP(%q): want error", s)
+		}
+	}
+}
+
+func TestMakeIPOctets(t *testing.T) {
+	ip := MakeIP(10, 20, 30, 40)
+	a, b, c, d := ip.Octets()
+	if a != 10 || b != 20 || c != 30 || d != 40 {
+		t.Errorf("Octets() = %d.%d.%d.%d, want 10.20.30.40", a, b, c, d)
+	}
+}
+
+func TestIPStringParseProperty(t *testing.T) {
+	f := func(v uint32) bool {
+		ip := IP(v)
+		back, err := ParseIP(ip.String())
+		return err == nil && back == ip
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := MustParsePrefix("10.0.0.0/8")
+	if !p.Contains(MustParseIP("10.255.1.2")) {
+		t.Error("10.0.0.0/8 should contain 10.255.1.2")
+	}
+	if p.Contains(MustParseIP("11.0.0.0")) {
+		t.Error("10.0.0.0/8 should not contain 11.0.0.0")
+	}
+	host := MustParsePrefix("1.2.3.4/32")
+	if !host.Contains(MustParseIP("1.2.3.4")) || host.Contains(MustParseIP("1.2.3.5")) {
+		t.Error("/32 containment wrong")
+	}
+	all := MustParsePrefix("0.0.0.0/0")
+	if !all.Contains(MustParseIP("255.255.255.255")) {
+		t.Error("/0 should contain everything")
+	}
+}
+
+func TestPrefixNormalization(t *testing.T) {
+	p := MakePrefix(MustParseIP("10.1.2.3"), 8)
+	if p.Base != MustParseIP("10.0.0.0") {
+		t.Errorf("MakePrefix should mask host bits, base = %v", p.Base)
+	}
+	if p.String() != "10.0.0.0/8" {
+		t.Errorf("String() = %q", p.String())
+	}
+}
+
+func TestPrefixSizeNth(t *testing.T) {
+	p := MustParsePrefix("192.168.1.0/24")
+	if p.Size() != 256 {
+		t.Errorf("Size() = %d, want 256", p.Size())
+	}
+	if p.Nth(0) != MustParseIP("192.168.1.0") {
+		t.Errorf("Nth(0) = %v", p.Nth(0))
+	}
+	if p.Nth(255) != MustParseIP("192.168.1.255") {
+		t.Errorf("Nth(255) = %v", p.Nth(255))
+	}
+	if p.Nth(256) != p.Nth(0) {
+		t.Error("Nth should wrap modulo Size")
+	}
+}
+
+func TestPrefixNthAlwaysContained(t *testing.T) {
+	f := func(base uint32, bits uint8, i uint64) bool {
+		p := MakePrefix(IP(base), int(bits%33))
+		return p.Contains(p.Nth(i))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParsePrefixErrors(t *testing.T) {
+	bad := []string{"", "10.0.0.0", "10.0.0.0/33", "10.0.0.0/-1", "x/8", "10.0.0.0/x"}
+	for _, s := range bad {
+		if _, err := ParsePrefix(s); err == nil {
+			t.Errorf("ParsePrefix(%q): want error", s)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package packet
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Protocol identifies the transport protocol of a packet. The values match
+// the IPv4 protocol numbers so they can be written to the wire directly.
+type Protocol uint8
+
+// Supported transport protocols. The telescope pipeline only needs the
+// three protocols that carry scan traffic and backscatter.
+const (
+	ICMP Protocol = 1
+	TCP  Protocol = 6
+	UDP  Protocol = 17
+)
+
+// String returns the conventional protocol name.
+func (p Protocol) String() string {
+	switch p {
+	case ICMP:
+		return "ICMP"
+	case TCP:
+		return "TCP"
+	case UDP:
+		return "UDP"
+	default:
+		return fmt.Sprintf("proto(%d)", uint8(p))
+	}
+}
+
+// TCPFlags is the 8-bit TCP flag field.
+type TCPFlags uint8
+
+// Individual TCP flags.
+const (
+	FlagFIN TCPFlags = 1 << iota
+	FlagSYN
+	FlagRST
+	FlagPSH
+	FlagACK
+	FlagURG
+	FlagECE
+	FlagCWR
+)
+
+// Has reports whether all flags in mask are set.
+func (f TCPFlags) Has(mask TCPFlags) bool { return f&mask == mask }
+
+// String renders the set flags in the usual capital-letter shorthand.
+func (f TCPFlags) String() string {
+	if f == 0 {
+		return "none"
+	}
+	names := []struct {
+		bit  TCPFlags
+		name string
+	}{
+		{FlagFIN, "FIN"}, {FlagSYN, "SYN"}, {FlagRST, "RST"}, {FlagPSH, "PSH"},
+		{FlagACK, "ACK"}, {FlagURG, "URG"}, {FlagECE, "ECE"}, {FlagCWR, "CWR"},
+	}
+	var parts []string
+	for _, n := range names {
+		if f.Has(n.bit) {
+			parts = append(parts, n.name)
+		}
+	}
+	return strings.Join(parts, "|")
+}
+
+// ICMP types and codes used by the backscatter filter.
+const (
+	ICMPEchoReply       uint8 = 0
+	ICMPDestUnreach     uint8 = 3
+	ICMPEchoRequest     uint8 = 8
+	ICMPTimeExceeded    uint8 = 11
+	ICMPCodePortUnreach uint8 = 3
+	ICMPCodeHostUnreach uint8 = 1
+)
+
+// TCPOptions carries the subset of TCP options the classifier consumes
+// (Table II of the paper): window scale, MSS, and the binary presence of
+// timestamp, NOP, SACK-permitted and SACK options.
+type TCPOptions struct {
+	HasWScale     bool
+	WScale        uint8
+	HasMSS        bool
+	MSS           uint16
+	Timestamp     bool
+	NOP           bool
+	SACKPermitted bool
+	SACK          bool
+}
+
+// Packet is one telescope-observed IPv4 packet with every header field the
+// downstream modules consume. Payloads are never carried: a telescope
+// observes unsolicited traffic whose payload (if any) is irrelevant to the
+// feature set.
+type Packet struct {
+	Timestamp time.Time
+
+	// IPv4 header.
+	TOS         uint8
+	TotalLength uint16
+	ID          uint16
+	TTL         uint8
+	Proto       Protocol
+	SrcIP       IP
+	DstIP       IP
+
+	// TCP / UDP header (ports are zero for ICMP).
+	SrcPort uint16
+	DstPort uint16
+
+	// TCP-only header fields.
+	Seq        uint32
+	Ack        uint32
+	DataOffset uint8 // header length in 32-bit words
+	Reserved   uint8
+	Flags      TCPFlags
+	Window     uint16
+	Urgent     uint16
+	Options    TCPOptions
+
+	// ICMP-only header fields.
+	ICMPType uint8
+	ICMPCode uint8
+
+	// PayloadLen is the number of payload bytes the packet claimed to carry.
+	PayloadLen uint16
+}
+
+// HeaderLength returns the combined IP+transport header length in bytes.
+func (p *Packet) HeaderLength() int {
+	const ipHeader = 20
+	switch p.Proto {
+	case TCP:
+		off := int(p.DataOffset)
+		if off < 5 {
+			off = 5
+		}
+		return ipHeader + off*4
+	case UDP:
+		return ipHeader + 8
+	case ICMP:
+		return ipHeader + 8
+	default:
+		return ipHeader
+	}
+}
+
+// TCPDataLength returns the TCP payload length implied by the headers, or 0
+// for non-TCP packets.
+func (p *Packet) TCPDataLength() int {
+	if p.Proto != TCP {
+		return 0
+	}
+	n := int(p.TotalLength) - p.HeaderLength()
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// IsBackscatter reports whether the packet is a response to spoofed traffic
+// rather than a scan aimed at the telescope. The paper filters packets
+// "with only TCP ACK flag set, ICMP packets with unreachable code set,
+// etc."; we implement the standard telescope backscatter taxonomy:
+// SYN-ACK, RST(+ACK), pure-ACK and FIN-ACK TCP segments, ICMP echo replies,
+// destination-unreachable and time-exceeded messages.
+func (p *Packet) IsBackscatter() bool {
+	switch p.Proto {
+	case TCP:
+		f := p.Flags
+		switch {
+		case f.Has(FlagSYN | FlagACK):
+			return true
+		case f.Has(FlagRST):
+			return true
+		case f == FlagACK:
+			return true
+		case f.Has(FlagFIN|FlagACK) && !f.Has(FlagSYN):
+			return true
+		}
+		return false
+	case ICMP:
+		switch p.ICMPType {
+		case ICMPEchoReply, ICMPDestUnreach, ICMPTimeExceeded:
+			return true
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// Normalize fills derived header fields (total length, data offset) so a
+// hand-built packet is self-consistent before marshaling. Generators call
+// this once per packet.
+func (p *Packet) Normalize() {
+	if p.Proto == TCP {
+		optLen := p.Options.wireLength()
+		p.DataOffset = uint8(5 + (optLen+3)/4)
+	}
+	p.TotalLength = uint16(p.HeaderLength() + int(p.PayloadLen))
+}

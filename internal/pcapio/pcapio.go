@@ -1,0 +1,265 @@
+// Package pcapio reads and writes packet captures in the classic libpcap
+// file format (LINKTYPE_RAW), optionally gzip-compressed, and organizes
+// them into hourly files the way CAIDA's telescope collection does: one
+// compressed capture per hour, named by its UTC hour. It replaces the
+// OpenStack-Swift hourly object store the paper's pipeline polls.
+package pcapio
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"exiot/internal/packet"
+)
+
+const (
+	magicNumber  = 0xa1b2c3d4
+	versionMajor = 2
+	versionMinor = 4
+	snapLen      = 65535
+	linkTypeRaw  = 101 // raw IPv4
+)
+
+// ErrNotPcap is returned when a stream does not begin with the pcap magic.
+var ErrNotPcap = errors.New("pcapio: not a pcap stream")
+
+// Writer writes packets to a pcap stream.
+type Writer struct {
+	w       *bufio.Writer
+	scratch []byte
+	count   int
+}
+
+// NewWriter writes the pcap global header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magicNumber)
+	binary.LittleEndian.PutUint16(hdr[4:], versionMajor)
+	binary.LittleEndian.PutUint16(hdr[6:], versionMinor)
+	// thiszone and sigfigs stay zero.
+	binary.LittleEndian.PutUint32(hdr[16:], snapLen)
+	binary.LittleEndian.PutUint32(hdr[20:], linkTypeRaw)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// WritePacket appends one packet record. Only headers are captured
+// (telescope style): incl_len is the header length, orig_len the claimed
+// on-wire length.
+func (w *Writer) WritePacket(p *packet.Packet) error {
+	w.scratch = p.Marshal(w.scratch[:0])
+	var rec [16]byte
+	ts := p.Timestamp
+	binary.LittleEndian.PutUint32(rec[0:], uint32(ts.Unix()))
+	binary.LittleEndian.PutUint32(rec[4:], uint32(ts.Nanosecond()/1000))
+	binary.LittleEndian.PutUint32(rec[8:], uint32(len(w.scratch)))
+	origLen := uint32(p.TotalLength)
+	if origLen < uint32(len(w.scratch)) {
+		origLen = uint32(len(w.scratch))
+	}
+	binary.LittleEndian.PutUint32(rec[12:], origLen)
+	if _, err := w.w.Write(rec[:]); err != nil {
+		return fmt.Errorf("pcap record header: %w", err)
+	}
+	if _, err := w.w.Write(w.scratch); err != nil {
+		return fmt.Errorf("pcap record body: %w", err)
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of packets written so far.
+func (w *Writer) Count() int { return w.count }
+
+// Flush flushes buffered data to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader reads packets from a pcap stream.
+type Reader struct {
+	r       *bufio.Reader
+	scratch []byte
+}
+
+// NewReader validates the pcap global header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [24]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != magicNumber {
+		return nil, ErrNotPcap
+	}
+	if lt := binary.LittleEndian.Uint32(hdr[20:]); lt != linkTypeRaw {
+		return nil, fmt.Errorf("pcapio: unsupported link type %d", lt)
+	}
+	return &Reader{r: br, scratch: make([]byte, 0, 128)}, nil
+}
+
+// Next reads the next packet. It returns io.EOF at end of stream.
+func (r *Reader) Next(p *packet.Packet) error {
+	var rec [16]byte
+	if _, err := io.ReadFull(r.r, rec[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.EOF
+		}
+		return fmt.Errorf("pcap record header: %w", err)
+	}
+	sec := binary.LittleEndian.Uint32(rec[0:])
+	usec := binary.LittleEndian.Uint32(rec[4:])
+	inclLen := binary.LittleEndian.Uint32(rec[8:])
+	if inclLen > snapLen {
+		return fmt.Errorf("pcapio: record length %d exceeds snaplen", inclLen)
+	}
+	if cap(r.scratch) < int(inclLen) {
+		r.scratch = make([]byte, inclLen)
+	}
+	buf := r.scratch[:inclLen]
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		return fmt.Errorf("pcap record body: %w", err)
+	}
+	if _, err := p.Unmarshal(buf); err != nil {
+		return err
+	}
+	p.Timestamp = time.Unix(int64(sec), int64(usec)*1000).UTC()
+	return nil
+}
+
+// HourFileName returns the canonical file name for the capture hour
+// containing t, e.g. "telescope-20201209-07.pcap.gz".
+func HourFileName(t time.Time) string {
+	return "telescope-" + t.UTC().Format("20060102-15") + ".pcap.gz"
+}
+
+// ParseHourFileName extracts the UTC hour from a canonical file name.
+func ParseHourFileName(name string) (time.Time, error) {
+	base := filepath.Base(name)
+	if !strings.HasPrefix(base, "telescope-") || !strings.HasSuffix(base, ".pcap.gz") {
+		return time.Time{}, fmt.Errorf("pcapio: %q is not an hourly capture name", name)
+	}
+	stamp := strings.TrimSuffix(strings.TrimPrefix(base, "telescope-"), ".pcap.gz")
+	t, err := time.ParseInLocation("20060102-15", stamp, time.UTC)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("pcapio: parse %q: %w", name, err)
+	}
+	return t, nil
+}
+
+// HourWriter writes one gzip-compressed hourly capture file.
+type HourWriter struct {
+	f  *os.File
+	gz *gzip.Writer
+	*Writer
+	path string
+}
+
+// CreateHour creates (atomically via a temp name) the hourly capture file
+// for hour inside dir.
+func CreateHour(dir string, hour time.Time) (*HourWriter, error) {
+	path := filepath.Join(dir, HourFileName(hour))
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return nil, fmt.Errorf("create hour capture: %w", err)
+	}
+	gz := gzip.NewWriter(f)
+	w, err := NewWriter(gz)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &HourWriter{f: f, gz: gz, Writer: w, path: path}, nil
+}
+
+// Close flushes, closes, and renames the capture into place. Only after
+// Close returns does the hour become visible to pollers — matching the
+// paper's "constantly checks for newly added data sources (hourly)" model.
+func (hw *HourWriter) Close() error {
+	if err := hw.Flush(); err != nil {
+		return err
+	}
+	if err := hw.gz.Close(); err != nil {
+		return fmt.Errorf("close gzip: %w", err)
+	}
+	if err := hw.f.Close(); err != nil {
+		return fmt.Errorf("close capture: %w", err)
+	}
+	if err := os.Rename(hw.path+".tmp", hw.path); err != nil {
+		return fmt.Errorf("publish capture: %w", err)
+	}
+	return nil
+}
+
+// OpenHour opens the hourly capture file for hour inside dir.
+func OpenHour(dir string, hour time.Time) (*HourReader, error) {
+	return OpenFile(filepath.Join(dir, HourFileName(hour)))
+}
+
+// HourReader reads one gzip-compressed hourly capture file.
+type HourReader struct {
+	f  *os.File
+	gz *gzip.Reader
+	*Reader
+}
+
+// OpenFile opens a capture file by path.
+func OpenFile(path string) (*HourReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("open capture: %w", err)
+	}
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("open gzip: %w", err)
+	}
+	r, err := NewReader(gz)
+	if err != nil {
+		gz.Close()
+		f.Close()
+		return nil, err
+	}
+	return &HourReader{f: f, gz: gz, Reader: r}, nil
+}
+
+// Close closes the capture file.
+func (hr *HourReader) Close() error {
+	gzErr := hr.gz.Close()
+	if err := hr.f.Close(); err != nil {
+		return err
+	}
+	return gzErr
+}
+
+// ListHours returns the capture hours available in dir, sorted ascending.
+// In-progress (.tmp) files are invisible.
+func ListHours(dir string) ([]time.Time, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("list capture dir: %w", err)
+	}
+	var hours []time.Time
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		t, err := ParseHourFileName(e.Name())
+		if err != nil {
+			continue // not a capture file
+		}
+		hours = append(hours, t)
+	}
+	sort.Slice(hours, func(i, j int) bool { return hours[i].Before(hours[j]) })
+	return hours, nil
+}

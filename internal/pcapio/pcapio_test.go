@@ -1,0 +1,216 @@
+package pcapio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"exiot/internal/packet"
+)
+
+func randomPacket(r *rand.Rand, ts time.Time) packet.Packet {
+	p := packet.Packet{
+		Timestamp: ts,
+		TTL:       uint8(1 + r.Intn(255)),
+		ID:        uint16(r.Intn(65536)),
+		Proto:     packet.TCP,
+		SrcIP:     packet.IP(r.Uint32()),
+		DstIP:     packet.IP(r.Uint32()),
+		SrcPort:   uint16(r.Intn(65536)),
+		DstPort:   23,
+		Seq:       r.Uint32(),
+		Flags:     packet.FlagSYN,
+		Window:    uint16(r.Intn(65536)),
+	}
+	p.Normalize()
+	return p
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	base := time.Date(2020, 12, 9, 7, 0, 0, 0, time.UTC)
+	var want []packet.Packet
+	for i := 0; i < 500; i++ {
+		p := randomPacket(r, base.Add(time.Duration(i)*time.Millisecond*7))
+		want = append(want, p)
+		if err := w.WritePacket(&p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 500 {
+		t.Errorf("Count() = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got packet.Packet
+	for i := range want {
+		if err := rd.Next(&got); err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if !got.Timestamp.Equal(want[i].Timestamp) {
+			t.Fatalf("packet %d: timestamp %v want %v", i, got.Timestamp, want[i].Timestamp)
+		}
+		if got.SrcIP != want[i].SrcIP || got.Seq != want[i].Seq || got.Window != want[i].Window {
+			t.Fatalf("packet %d: fields lost", i)
+		}
+	}
+	if err := rd.Next(&got); !errors.Is(err, io.EOF) {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestNotPcap(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(make([]byte, 24))); !errors.Is(err, ErrNotPcap) {
+		t.Errorf("want ErrNotPcap, got %v", err)
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Error("want error for empty stream")
+	}
+}
+
+func TestHourFileNameRoundTrip(t *testing.T) {
+	hour := time.Date(2020, 12, 9, 7, 0, 0, 0, time.UTC)
+	name := HourFileName(hour)
+	if name != "telescope-20201209-07.pcap.gz" {
+		t.Errorf("HourFileName = %q", name)
+	}
+	back, err := ParseHourFileName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(hour) {
+		t.Errorf("ParseHourFileName = %v, want %v", back, hour)
+	}
+	if _, err := ParseHourFileName("random.txt"); err == nil {
+		t.Error("want error for non-capture name")
+	}
+	if _, err := ParseHourFileName("telescope-notadate.pcap.gz"); err == nil {
+		t.Error("want error for bad date")
+	}
+}
+
+func TestHourlyStore(t *testing.T) {
+	dir := t.TempDir()
+	r := rand.New(rand.NewSource(9))
+	hours := []time.Time{
+		time.Date(2020, 12, 9, 7, 0, 0, 0, time.UTC),
+		time.Date(2020, 12, 9, 8, 0, 0, 0, time.UTC),
+		time.Date(2020, 12, 9, 9, 0, 0, 0, time.UTC),
+	}
+	perHour := 200
+	for _, h := range hours {
+		hw, err := CreateHour(dir, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < perHour; i++ {
+			p := randomPacket(r, h.Add(time.Duration(i)*time.Second*10))
+			if err := hw.WritePacket(&p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := hw.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	listed, err := ListHours(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) != len(hours) {
+		t.Fatalf("ListHours = %d entries, want %d", len(listed), len(hours))
+	}
+	for i := range hours {
+		if !listed[i].Equal(hours[i]) {
+			t.Errorf("hour %d = %v, want %v", i, listed[i], hours[i])
+		}
+	}
+
+	hr, err := OpenHour(dir, hours[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Close()
+	n := 0
+	var p packet.Packet
+	for {
+		err := hr.Next(&p)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Timestamp.Truncate(time.Hour).Equal(hours[1]) {
+			t.Fatalf("packet timestamp %v outside hour %v", p.Timestamp, hours[1])
+		}
+		n++
+	}
+	if n != perHour {
+		t.Errorf("read %d packets, want %d", n, perHour)
+	}
+}
+
+func TestInProgressHourInvisible(t *testing.T) {
+	dir := t.TempDir()
+	hour := time.Date(2021, 3, 14, 0, 0, 0, 0, time.UTC)
+	hw, err := CreateHour(dir, hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before Close, ListHours must not see the file.
+	listed, err := ListHours(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) != 0 {
+		t.Errorf("in-progress hour visible: %v", listed)
+	}
+	if err := hw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	listed, err = ListHours(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) != 1 {
+		t.Errorf("published hour not visible")
+	}
+}
+
+func TestListHoursMissingDir(t *testing.T) {
+	if _, err := ListHours("/nonexistent/dir/for/test"); err == nil {
+		t.Error("want error for missing dir")
+	}
+}
+
+func TestOpenFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenFile(dir + "/missing.pcap.gz"); err == nil {
+		t.Error("want error for missing file")
+	}
+	// Non-gzip content.
+	path := dir + "/telescope-20210101-00.pcap.gz"
+	if err := os.WriteFile(path, []byte("plain text"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path); err == nil {
+		t.Error("want error for non-gzip file")
+	}
+}

@@ -1,0 +1,91 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"exiot/internal/organizer"
+	"exiot/internal/packet"
+	"exiot/internal/trw"
+	"exiot/internal/wire"
+)
+
+// This file is the bridge between the sampler and the wire transport: it
+// encodes sampler events into frames the flowsampler binary ships to the
+// exiotd feed server, and decodes them on the other side.
+
+// flowEndMsg is the wire payload of a flow-end event.
+type flowEndMsg struct {
+	IP         string    `json:"ip"`
+	FirstSeen  time.Time `json:"first_seen"`
+	DetectedAt time.Time `json:"detected_at"`
+	LastSeen   time.Time `json:"last_seen"`
+}
+
+// EncodeEvent serializes a sampler event for the wire.
+func EncodeEvent(e SamplerEvent) (wire.Kind, []byte, error) {
+	switch e.Kind {
+	case SamplerBatch:
+		data, err := organizer.Encode(e.Batch)
+		if err != nil {
+			return 0, nil, err
+		}
+		return wire.KindSample, data, nil
+	case SamplerFlowEnd:
+		data, err := json.Marshal(flowEndMsg{
+			IP:         e.IP.String(),
+			FirstSeen:  e.FirstSeen,
+			DetectedAt: e.DetectedAt,
+			LastSeen:   e.LastSeen,
+		})
+		if err != nil {
+			return 0, nil, fmt.Errorf("encode flow end: %w", err)
+		}
+		return wire.KindFlowEnd, data, nil
+	case SamplerReport:
+		data, err := json.Marshal(e.Report)
+		if err != nil {
+			return 0, nil, fmt.Errorf("encode report: %w", err)
+		}
+		return wire.KindReport, data, nil
+	default:
+		return 0, nil, fmt.Errorf("encode event: unknown kind %d", e.Kind)
+	}
+}
+
+// DecodeEvent deserializes a wire frame back into a sampler event.
+func DecodeEvent(f wire.Frame) (SamplerEvent, error) {
+	switch f.Kind {
+	case wire.KindSample:
+		b, err := organizer.Decode(f.Payload)
+		if err != nil {
+			return SamplerEvent{}, err
+		}
+		return SamplerEvent{Kind: SamplerBatch, Batch: &b}, nil
+	case wire.KindFlowEnd:
+		var msg flowEndMsg
+		if err := json.Unmarshal(f.Payload, &msg); err != nil {
+			return SamplerEvent{}, fmt.Errorf("decode flow end: %w", err)
+		}
+		ip, err := packet.ParseIP(msg.IP)
+		if err != nil {
+			return SamplerEvent{}, fmt.Errorf("decode flow end: %w", err)
+		}
+		return SamplerEvent{
+			Kind:       SamplerFlowEnd,
+			IP:         ip,
+			FirstSeen:  msg.FirstSeen,
+			DetectedAt: msg.DetectedAt,
+			LastSeen:   msg.LastSeen,
+		}, nil
+	case wire.KindReport:
+		var rep trw.SecondReport
+		if err := json.Unmarshal(f.Payload, &rep); err != nil {
+			return SamplerEvent{}, fmt.Errorf("decode report: %w", err)
+		}
+		return SamplerEvent{Kind: SamplerReport, Report: &rep}, nil
+	default:
+		return SamplerEvent{}, fmt.Errorf("decode event: unknown frame kind %d", f.Kind)
+	}
+}

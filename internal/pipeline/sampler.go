@@ -1,0 +1,112 @@
+// Package pipeline wires eX-IoT's modules into the two halves of Fig. 2:
+// the Sampler (the CAIDA-side flow detection & sampling binary) and the
+// Server (the eX-IoT feed server: scan module, annotate module, update
+// classifier, the three databases, notifications, and the API source).
+// A Local pipeline runs both halves in one process with simulated
+// collection delays, which is how the experiments and examples drive it.
+package pipeline
+
+import (
+	"time"
+
+	"exiot/internal/organizer"
+	"exiot/internal/packet"
+	"exiot/internal/trw"
+)
+
+// SamplerEventKind discriminates sampler outputs.
+type SamplerEventKind int
+
+// Sampler event kinds.
+const (
+	// SamplerBatch carries an organized sampled flow.
+	SamplerBatch SamplerEventKind = iota + 1
+	// SamplerFlowEnd signals the end of a scan flow.
+	SamplerFlowEnd
+	// SamplerReport carries a per-second packet-level report.
+	SamplerReport
+)
+
+// SamplerEvent is one output of the CAIDA-side half.
+type SamplerEvent struct {
+	Kind SamplerEventKind
+
+	// Batch is set for SamplerBatch events.
+	Batch *organizer.Batch
+
+	// Flow-end fields.
+	IP         packet.IP
+	FirstSeen  time.Time
+	DetectedAt time.Time
+	LastSeen   time.Time
+
+	// Report is set for SamplerReport events.
+	Report *trw.SecondReport
+}
+
+// Sampler is the CAIDA-side half: TRW detection plus the packet
+// organizer, consuming hourly packet batches.
+type Sampler struct {
+	detector *trw.Detector
+	org      *organizer.Organizer
+	emit     func(SamplerEvent)
+
+	hoursProcessed int
+	packetsTotal   int64
+}
+
+// NewSampler builds the CAIDA-side half. Events are delivered to emit in
+// processing order.
+func NewSampler(trwCfg trw.Config, minSamples int, emit func(SamplerEvent)) *Sampler {
+	s := &Sampler{org: organizer.New(), emit: emit}
+	if minSamples > 0 {
+		s.org.MinSamples = minSamples
+	}
+	s.detector = trw.NewDetector(trwCfg, s.onDetectorEvent)
+	return s
+}
+
+func (s *Sampler) onDetectorEvent(e trw.Event) {
+	switch e.Kind {
+	case trw.EventSample:
+		if b, ok := s.org.Organize(e); ok {
+			s.emit(SamplerEvent{Kind: SamplerBatch, Batch: &b})
+		}
+	case trw.EventFlowEnd:
+		s.emit(SamplerEvent{
+			Kind:       SamplerFlowEnd,
+			IP:         e.IP,
+			FirstSeen:  e.FirstSeen,
+			DetectedAt: e.DetectedAt,
+			LastSeen:   e.LastSeen,
+		})
+	case trw.EventSecondReport:
+		s.emit(SamplerEvent{Kind: SamplerReport, Report: e.Report})
+	}
+}
+
+// ProcessHour consumes one hour of telescope packets (sorted by time) and
+// then runs the detector's hourly sweep, exactly like the paper's loop
+// over newly published pcap hours.
+func (s *Sampler) ProcessHour(pkts []packet.Packet, hourEnd time.Time) {
+	for i := range pkts {
+		s.detector.Process(&pkts[i])
+	}
+	s.detector.EndHour(hourEnd)
+	s.hoursProcessed++
+	s.packetsTotal += int64(len(pkts))
+}
+
+// Flush ends all live flows (end of a simulation run).
+func (s *Sampler) Flush(now time.Time) {
+	s.detector.Flush(now)
+}
+
+// DetectorStats exposes the underlying detector counters.
+func (s *Sampler) DetectorStats() trw.Stats { return s.detector.Stats() }
+
+// OrganizerStats exposes (accepted, dropped) counters.
+func (s *Sampler) OrganizerStats() (accepted, dropped int64) { return s.org.Stats() }
+
+// PacketsProcessed returns the lifetime packet count.
+func (s *Sampler) PacketsProcessed() int64 { return s.packetsTotal }

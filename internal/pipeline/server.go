@@ -1,0 +1,484 @@
+package pipeline
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"exiot/internal/annotate"
+	"exiot/internal/api"
+	"exiot/internal/enrich"
+	"exiot/internal/features"
+	"exiot/internal/feed"
+	"exiot/internal/notify"
+	"exiot/internal/organizer"
+	"exiot/internal/packet"
+	"exiot/internal/recog"
+	"exiot/internal/registry"
+	"exiot/internal/scanmod"
+	"exiot/internal/store"
+	"exiot/internal/trainer"
+	"exiot/internal/zmap"
+)
+
+// ServerConfig parameterizes the feed-server half.
+type ServerConfig struct {
+	ScanMod scanmod.Config
+	Trainer trainer.Config
+	Notify  notify.Config
+	// RetrainEvery is the model refresh period (paper: 24 h).
+	RetrainEvery time.Duration
+	// HistoricalWindow is the historical database's lapse (paper: two
+	// weeks).
+	HistoricalWindow time.Duration
+}
+
+// DefaultServerConfig returns the paper's operating point.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{
+		ScanMod:          scanmod.Default(),
+		Trainer:          trainer.Default(),
+		Notify:           notify.Config{NotifyWhois: false},
+		RetrainEvery:     24 * time.Hour,
+		HistoricalWindow: 14 * 24 * time.Hour,
+	}
+}
+
+// Counters aggregates server-side lifetime statistics.
+type Counters struct {
+	RecordsCreated int64
+	FlowsEnded     int64
+	BannersLabeled int64
+	ModelRetrains  int64
+	EmailsSent     int64
+	Reports        int64
+}
+
+// Server is the feed-server half of the pipeline: it consumes sampler
+// events and maintains the CTI feed.
+type Server struct {
+	cfg       ServerConfig
+	scanMod   *scanmod.Module
+	annotator *annotate.Annotator
+	trainer   *trainer.Trainer
+	notifier  *notify.Notifier
+
+	// The paper's three databases.
+	latest     *store.Collection[feed.Record] // active threat information
+	historical *store.Collection[feed.Record] // two-week archive
+	active     *store.KV                      // IP → historical ObjectID of the live record
+
+	// traffic holds the hourly aggregation of per-second reports (the
+	// report messages the paper's receiver stores in MongoDB).
+	traffic *trafficStats
+
+	mu sync.Mutex
+	// latestID pairs historical ObjectIDs with their latest-DB twin.
+	latestID map[store.ObjectID]store.ObjectID
+	// pendingBatches holds organized flows awaiting active-measurement
+	// results; pendingEnds holds flow ends that arrived before their
+	// record materialized (the scan batch had not flushed yet).
+	pendingBatches map[packet.IP]*pendingFlow
+	pendingEnds    map[packet.IP]SamplerEvent
+	clock          time.Time
+	lastRetrain    time.Time
+	lastAttempt    time.Time
+	counters       Counters
+	lastModel      *trainer.TrainedModel
+}
+
+type pendingFlow struct {
+	batch       *organizer.Batch
+	availableAt time.Time
+}
+
+// NewServer assembles the feed-server half. prober answers active
+// probes (the simulated Internet); reg backs enrichment; mailer delivers
+// notifications (nil disables them).
+func NewServer(cfg ServerConfig, prober zmap.Prober, reg *registry.Registry, mailer notify.Mailer) *Server {
+	if cfg.RetrainEvery <= 0 {
+		cfg.RetrainEvery = 24 * time.Hour
+	}
+	if cfg.HistoricalWindow <= 0 {
+		cfg.HistoricalWindow = 14 * 24 * time.Hour
+	}
+	s := &Server{
+		cfg:            cfg,
+		scanMod:        scanmod.New(cfg.ScanMod, zmap.NewScanner(prober), recog.NewDB()),
+		annotator:      annotate.New(enrich.New(reg)),
+		trainer:        trainer.New(cfg.Trainer),
+		latest:         store.NewCollection[feed.Record](),
+		historical:     store.NewCollection[feed.Record](),
+		active:         store.NewKV(),
+		latestID:       make(map[store.ObjectID]store.ObjectID),
+		pendingBatches: make(map[packet.IP]*pendingFlow),
+		pendingEnds:    make(map[packet.IP]SamplerEvent),
+		traffic:        newTrafficStats(),
+	}
+	if mailer != nil {
+		s.notifier = notify.New(cfg.Notify, mailer)
+	}
+	return s
+}
+
+// Notifier exposes the e-mail notifier (nil when disabled).
+func (s *Server) Notifier() *notify.Notifier { return s.notifier }
+
+// HandleEvent consumes one sampler event. availableAt is the simulated
+// wall-clock instant the event reached the feed server (hour publish +
+// collection + processing delays).
+func (s *Server) HandleEvent(e SamplerEvent, availableAt time.Time) {
+	s.mu.Lock()
+	if availableAt.After(s.clock) {
+		s.clock = availableAt
+	}
+	s.mu.Unlock()
+
+	switch e.Kind {
+	case SamplerBatch:
+		s.handleBatch(e.Batch, availableAt)
+	case SamplerFlowEnd:
+		s.handleFlowEnd(e, availableAt)
+	case SamplerReport:
+		s.traffic.add(e.Report)
+		s.mu.Lock()
+		s.counters.Reports++
+		s.mu.Unlock()
+	}
+	s.Tick(availableAt)
+}
+
+func (s *Server) handleBatch(b *organizer.Batch, availableAt time.Time) {
+	s.mu.Lock()
+	s.pendingBatches[b.IP] = &pendingFlow{batch: b, availableAt: availableAt}
+	s.mu.Unlock()
+	// The paper probes scanners immediately upon detection; the scan
+	// module batches up to BatchSize/BatchWait before the sweep runs.
+	if tagged := s.scanMod.Enqueue(b.IP, availableAt); tagged != nil {
+		s.resolveTagged(tagged, availableAt)
+	}
+}
+
+// resolveTagged joins active-measurement results with their organized
+// flows and emits CTI records.
+func (s *Server) resolveTagged(tagged []scanmod.Tagged, now time.Time) {
+	for i := range tagged {
+		tg := &tagged[i]
+		s.mu.Lock()
+		pf := s.pendingBatches[tg.IP]
+		delete(s.pendingBatches, tg.IP)
+		s.mu.Unlock()
+		if pf == nil {
+			continue // flow was dropped by the organizer
+		}
+		s.emitRecord(pf.batch, &tg.Result, tg.Match, now)
+	}
+}
+
+func (s *Server) emitRecord(b *organizer.Batch, scan *zmap.HostResult, match *recog.Match, appearedAt time.Time) {
+	rec, err := s.annotator.Annotate(b, scan, match)
+	if err != nil {
+		return // malformed flow; nothing to record
+	}
+	rec.AppearedAt = appearedAt
+
+	// Banner-labeled flows feed the update-classifier window.
+	if match != nil {
+		label := 0
+		if match.IoT {
+			label = 1
+		}
+		if raw, err := features.RawVector(b.Sample); err == nil {
+			s.trainer.Add(trainer.Example{
+				Time:  appearedAt,
+				IP:    rec.IP,
+				Raw:   raw,
+				Label: label,
+			})
+			s.mu.Lock()
+			s.counters.BannersLabeled++
+			s.mu.Unlock()
+		}
+	}
+
+	histID := s.historical.Insert(appearedAt, rec)
+	latestID := s.latest.Insert(appearedAt, rec)
+	s.mu.Lock()
+	s.latestID[histID] = latestID
+	s.counters.RecordsCreated++
+	s.mu.Unlock()
+	s.active.Set(activeKey(rec.IP), string(histID))
+
+	if s.notifier != nil {
+		if sent := s.notifier.Process(&rec, appearedAt); sent > 0 {
+			s.mu.Lock()
+			s.counters.EmailsSent += int64(sent)
+			s.mu.Unlock()
+		}
+	}
+
+	// A flow end may have raced ahead of the scan batch; apply it now.
+	s.mu.Lock()
+	end, hasEnd := s.pendingEnds[b.IP]
+	delete(s.pendingEnds, b.IP)
+	s.mu.Unlock()
+	if hasEnd {
+		s.handleFlowEnd(end, appearedAt)
+	}
+}
+
+func (s *Server) handleFlowEnd(e SamplerEvent, availableAt time.Time) {
+	ipStr := e.IP.String()
+	idStr, ok := s.active.Get(activeKey(ipStr))
+	if !ok {
+		// The record may still be waiting on the scan batch; park the
+		// end until emitRecord replays it. Ends for flows the organizer
+		// dropped are parked too, but they are swept with the map.
+		s.mu.Lock()
+		if _, waiting := s.pendingBatches[e.IP]; waiting || s.scanModHasPending() {
+			s.pendingEnds[e.IP] = e
+		}
+		s.mu.Unlock()
+		return
+	}
+	histID := store.ObjectID(idStr)
+	ended := e.LastSeen
+	update := func(rec *feed.Record) {
+		rec.Active = false
+		rec.EndedAt = &ended
+		if e.LastSeen.After(rec.LastSeen) {
+			rec.LastSeen = e.LastSeen
+		}
+	}
+	// The ObjectID lookup is the whole point of the Redis cache: O(1)
+	// status updates instead of scanning for the latest record of an IP.
+	s.historical.Update(histID, update)
+	s.mu.Lock()
+	latestID, hasTwin := s.latestID[histID]
+	delete(s.latestID, histID)
+	s.counters.FlowsEnded++
+	s.mu.Unlock()
+	if hasTwin {
+		s.latest.Update(latestID, update)
+		s.latest.Delete(latestID)
+	}
+	s.active.Del(activeKey(ipStr))
+	_ = availableAt
+}
+
+// Tick runs time-driven housekeeping: scan-batch age flush, the daily
+// retrain, and historical expiry. Call with the advancing simulated
+// clock.
+func (s *Server) Tick(now time.Time) {
+	// Age-based scan flush happens inside Enqueue; here we force a flush
+	// when the batch has been waiting past the trigger with no arrivals.
+	s.maybeRetrain(now)
+	s.historical.Expire(now.Add(-s.cfg.HistoricalWindow))
+}
+
+// FlushScans forces the scan module's pending batch through (end of a
+// simulation run or graceful shutdown).
+func (s *Server) FlushScans(now time.Time) {
+	if tagged := s.scanMod.Flush(); tagged != nil {
+		s.resolveTagged(tagged, now)
+	}
+}
+
+func (s *Server) maybeRetrain(now time.Time) {
+	s.mu.Lock()
+	due := s.lastRetrain.IsZero() || now.Sub(s.lastRetrain) >= s.cfg.RetrainEvery
+	// During bootstrap a retrain may fail for lack of labeled data; the
+	// 24 h slot is only consumed by a successful train, with a short
+	// cooldown between attempts so ticks stay cheap.
+	attempt := due && (s.lastAttempt.IsZero() || now.Sub(s.lastAttempt) >= 30*time.Minute)
+	if attempt {
+		s.lastAttempt = now
+	}
+	s.mu.Unlock()
+	if !attempt {
+		return
+	}
+	m, err := s.trainer.Retrain(now)
+	if err != nil {
+		return // not enough labeled data yet (bootstrap)
+	}
+	s.annotator.SetModel(&annotate.Model{Classifier: m.Forest, Normalizer: m.Normalizer})
+	s.mu.Lock()
+	s.lastModel = m
+	s.lastRetrain = now
+	s.counters.ModelRetrains++
+	s.mu.Unlock()
+}
+
+// RestoreModel loads the most recently archived model from dir and
+// installs it, letting a restarted feed server classify immediately
+// instead of re-bootstrapping. A missing archive is not an error.
+func (s *Server) RestoreModel(dir string) error {
+	m, err := trainer.LoadLatest(dir)
+	if err != nil {
+		return err
+	}
+	if m == nil {
+		return nil
+	}
+	s.annotator.SetModel(&annotate.Model{Classifier: m.Forest, Normalizer: m.Normalizer})
+	s.mu.Lock()
+	s.lastModel = m
+	s.lastRetrain = m.TrainedAt
+	s.mu.Unlock()
+	return nil
+}
+
+// ForceRetrain runs a training cycle immediately (experiments).
+func (s *Server) ForceRetrain(now time.Time) error {
+	m, err := s.trainer.Retrain(now)
+	if err != nil {
+		return err
+	}
+	s.annotator.SetModel(&annotate.Model{Classifier: m.Forest, Normalizer: m.Normalizer})
+	s.mu.Lock()
+	s.lastModel = m
+	s.counters.ModelRetrains++
+	s.lastRetrain = now
+	s.mu.Unlock()
+	return nil
+}
+
+// LastModel returns the most recent trained model (nil before first
+// retrain).
+func (s *Server) LastModel() *trainer.TrainedModel {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastModel
+}
+
+// Trainer exposes the update-classifier module (experiments).
+func (s *Server) Trainer() *trainer.Trainer { return s.trainer }
+
+// Counters returns lifetime statistics.
+func (s *Server) Counters() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters
+}
+
+// UnknownBanners exposes the scan module's unknown-banner dump.
+func (s *Server) UnknownBanners() []string { return s.scanMod.UnknownBanners() }
+
+// scanModHasPending reports whether the scan module still buffers
+// un-probed scanners. Caller holds s.mu (the scan module itself is only
+// driven from the event path).
+func (s *Server) scanModHasPending() bool { return s.scanMod.Pending() > 0 }
+
+func activeKey(ip string) string { return "active:" + ip }
+
+// --- api.Source implementation ---
+
+var _ api.Source = (*Server)(nil)
+
+// Records queries the historical database.
+func (s *Server) Records(q api.Query) []feed.Record {
+	out := s.historical.Find(func(r feed.Record) bool { return q.Matches(&r) })
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[len(out)-q.Limit:] // most recent entries win
+	}
+	return out
+}
+
+// RecordByIP returns the most recent record for ip, preferring the live
+// one.
+func (s *Server) RecordByIP(ip string) (feed.Record, bool) {
+	if idStr, ok := s.active.Get(activeKey(ip)); ok {
+		if rec, ok := s.historical.Get(store.ObjectID(idStr)); ok {
+			return rec, true
+		}
+	}
+	matches := s.historical.Find(func(r feed.Record) bool { return r.IP == ip })
+	if len(matches) == 0 {
+		return feed.Record{}, false
+	}
+	return matches[len(matches)-1], true
+}
+
+// Snapshot aggregates the front-end's high-level view.
+func (s *Server) Snapshot() api.Snapshot {
+	s.mu.Lock()
+	now := s.clock
+	s.mu.Unlock()
+	snap := api.Snapshot{
+		GeneratedAt:  now,
+		TopCountries: map[string]int{},
+		TopPorts:     map[string]int{},
+		TopVendors:   map[string]int{},
+	}
+	var earliest, latest time.Time
+	for _, rec := range s.historical.Find(nil) {
+		snap.TotalRecords++
+		if rec.Active {
+			snap.ActiveRecords++
+		}
+		if rec.Benign {
+			snap.BenignRecords++
+		}
+		if rec.IsIoT() {
+			snap.IoTRecords++
+			snap.TopCountries[rec.CountryCode]++
+			if rec.Vendor != "" {
+				snap.TopVendors[rec.Vendor]++
+			}
+			for _, port := range rec.TopPorts(3) {
+				snap.TopPorts[strconv.Itoa(int(port))]++
+			}
+		}
+		if earliest.IsZero() || rec.AppearedAt.Before(earliest) {
+			earliest = rec.AppearedAt
+		}
+		if rec.AppearedAt.After(latest) {
+			latest = rec.AppearedAt
+		}
+	}
+	trimTop(snap.TopCountries, 10)
+	trimTop(snap.TopPorts, 10)
+	trimTop(snap.TopVendors, 10)
+	if span := latest.Sub(earliest).Hours(); span > 0 {
+		snap.RecordsPerHour = float64(snap.TotalRecords) / span
+	}
+	return snap
+}
+
+// trimTop keeps the n largest entries of a counter map.
+func trimTop(m map[string]int, n int) {
+	if len(m) <= n {
+		return
+	}
+	type kv struct {
+		k string
+		v int
+	}
+	items := make([]kv, 0, len(m))
+	for k, v := range m {
+		items = append(items, kv{k, v})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].v != items[j].v {
+			return items[i].v > items[j].v
+		}
+		return items[i].k < items[j].k
+	})
+	for _, it := range items[n:] {
+		delete(m, it.k)
+	}
+}
+
+// Traffic returns the hourly telescope traffic statistics, each hour's
+// port tally trimmed to its top 10 entries.
+func (s *Server) Traffic() []TrafficHour {
+	return s.traffic.snapshot(10)
+}
+
+// Historical exposes the two-week archive (experiments and dashboards).
+func (s *Server) Historical() *store.Collection[feed.Record] { return s.historical }
+
+// ActiveCount returns the number of live scan flows with records.
+func (s *Server) ActiveCount() int { return s.active.Len() }

@@ -1,0 +1,178 @@
+package registry
+
+// Country describes one country in the synthetic Internet registry,
+// including the relative density of infected IoT devices hosted there. The
+// infection weights are tuned so a world snapshot reproduces the shape of
+// Table V of the paper (China 43.5 %, India 10.3 %, Brazil 8.5 %, Iran
+// 5.5 %, Mexico 3.5 %, long tail after).
+type Country struct {
+	Name      string
+	Code      string
+	Continent string
+	// InfectionWeight is the relative share of infected IoT devices.
+	InfectionWeight float64
+	// NonIoTWeight is the relative share of non-IoT scanning hosts
+	// (bulletproof hosting, compromised servers); deliberately flatter.
+	NonIoTWeight float64
+	Lat, Lon     float64
+	Cities       []string
+}
+
+// Countries is the synthetic registry's country table.
+var Countries = []Country{
+	{"China", "CN", "Asia", 43.46, 18.0, 35.0, 105.0, []string{"Beijing", "Shanghai", "Shenzhen", "Chengdu", "Shenyang"}},
+	{"India", "IN", "Asia", 10.32, 6.0, 21.0, 78.0, []string{"Mumbai", "Delhi", "Bangalore", "Chennai"}},
+	{"Brazil", "BR", "South America", 8.48, 5.0, -10.0, -55.0, []string{"Sao Paulo", "Rio de Janeiro", "Brasilia"}},
+	{"Iran", "IR", "Asia", 5.51, 2.0, 32.0, 53.0, []string{"Tehran", "Mashhad", "Isfahan"}},
+	{"Mexico", "MX", "North America", 3.52, 2.0, 23.0, -102.0, []string{"Mexico City", "Monterrey", "Guadalajara"}},
+	{"Vietnam", "VN", "Asia", 3.20, 1.5, 16.0, 106.0, []string{"Hanoi", "Ho Chi Minh City"}},
+	{"Indonesia", "ID", "Asia", 2.90, 1.5, -5.0, 120.0, []string{"Jakarta", "Surabaya"}},
+	{"South Korea", "KR", "Asia", 2.60, 2.0, 36.0, 128.0, []string{"Seoul", "Busan"}},
+	{"Taiwan", "TW", "Asia", 2.30, 1.5, 23.7, 121.0, []string{"Taipei", "Kaohsiung"}},
+	{"Thailand", "TH", "Asia", 2.10, 1.0, 15.0, 101.0, []string{"Bangkok", "Chiang Mai"}},
+	{"Russia", "RU", "Europe", 2.40, 6.0, 60.0, 100.0, []string{"Moscow", "Saint Petersburg", "Novosibirsk"}},
+	{"Turkey", "TR", "Europe", 1.60, 1.5, 39.0, 35.0, []string{"Istanbul", "Ankara"}},
+	{"Ukraine", "UA", "Europe", 1.30, 2.5, 49.0, 32.0, []string{"Kyiv", "Kharkiv"}},
+	{"Italy", "IT", "Europe", 1.10, 1.0, 42.8, 12.8, []string{"Rome", "Milan"}},
+	{"Poland", "PL", "Europe", 0.90, 1.0, 52.0, 20.0, []string{"Warsaw", "Krakow"}},
+	{"Romania", "RO", "Europe", 0.80, 1.2, 46.0, 25.0, []string{"Bucharest", "Cluj"}},
+	{"Czech Republic", "CZ", "Europe", 0.55, 0.5, 49.8, 15.5, []string{"Prague", "Brno"}},
+	{"United States", "US", "North America", 1.80, 14.0, 38.0, -97.0, []string{"New York", "Dallas", "Los Angeles", "Chicago", "San Antonio"}},
+	{"Canada", "CA", "North America", 0.25, 1.5, 56.0, -106.0, []string{"Toronto", "Montreal"}},
+	{"Argentina", "AR", "South America", 1.40, 0.8, -34.0, -64.0, []string{"Buenos Aires", "Cordoba"}},
+	{"Colombia", "CO", "South America", 0.95, 0.5, 4.0, -72.0, []string{"Bogota", "Medellin"}},
+	{"Egypt", "EG", "Africa", 1.70, 0.7, 27.0, 30.0, []string{"Cairo", "Alexandria"}},
+	{"South Africa", "ZA", "Africa", 1.30, 0.8, -29.0, 24.0, []string{"Johannesburg", "Cape Town"}},
+	{"Nigeria", "NG", "Africa", 1.10, 0.5, 10.0, 8.0, []string{"Lagos", "Abuja"}},
+	{"Netherlands", "NL", "Europe", 0.17, 8.0, 52.5, 5.75, []string{"Amsterdam", "Rotterdam"}},
+	{"Germany", "DE", "Europe", 0.80, 5.0, 51.0, 9.0, []string{"Berlin", "Frankfurt"}},
+	{"France", "FR", "Europe", 0.70, 3.0, 46.0, 2.0, []string{"Paris", "Lyon"}},
+	{"United Kingdom", "GB", "Europe", 0.60, 2.5, 54.0, -2.0, []string{"London", "Manchester"}},
+	{"Japan", "JP", "Asia", 0.90, 2.0, 36.0, 138.0, []string{"Tokyo", "Osaka"}},
+	{"Australia", "AU", "Oceania", 0.45, 1.0, -27.0, 133.0, []string{"Sydney", "Melbourne"}},
+	{"Philippines", "PH", "Asia", 0.75, 0.5, 13.0, 122.0, []string{"Manila", "Cebu"}},
+	{"Pakistan", "PK", "Asia", 0.70, 0.5, 30.0, 70.0, []string{"Karachi", "Lahore"}},
+	{"Bangladesh", "BD", "Asia", 0.60, 0.3, 24.0, 90.0, []string{"Dhaka", "Chittagong"}},
+	{"Malaysia", "MY", "Asia", 0.50, 0.5, 2.5, 112.5, []string{"Kuala Lumpur"}},
+	{"Venezuela", "VE", "South America", 0.45, 0.3, 8.0, -66.0, []string{"Caracas"}},
+	{"Spain", "ES", "Europe", 0.40, 1.0, 40.0, -4.0, []string{"Madrid", "Barcelona"}},
+	{"Greece", "GR", "Europe", 0.30, 0.3, 39.0, 22.0, []string{"Athens"}},
+	{"Bulgaria", "BG", "Europe", 0.30, 0.8, 43.0, 25.0, []string{"Sofia"}},
+	{"Hungary", "HU", "Europe", 0.25, 0.4, 47.0, 20.0, []string{"Budapest"}},
+	{"Kenya", "KE", "Africa", 0.35, 0.2, 1.0, 38.0, []string{"Nairobi"}},
+	{"Morocco", "MA", "Africa", 0.30, 0.2, 32.0, -5.0, []string{"Casablanca"}},
+	{"Tunisia", "TN", "Africa", 0.25, 0.2, 34.0, 9.0, []string{"Tunis"}},
+	{"Chile", "CL", "South America", 0.30, 0.3, -30.0, -71.0, []string{"Santiago"}},
+	{"Peru", "PE", "South America", 0.28, 0.2, -10.0, -76.0, []string{"Lima"}},
+	{"Ecuador", "EC", "South America", 0.22, 0.2, -2.0, -77.5, []string{"Quito"}},
+}
+
+// ISP describes one autonomous system inside a country.
+type ISP struct {
+	ASN int
+	// Name of the hosting ISP / organization.
+	Name string
+	// Weight is the relative share of that country's infected devices.
+	Weight float64
+	// RDNSSuffix is the reverse-DNS zone for the ISP's customer pools.
+	RDNSSuffix string
+}
+
+// ISPTable maps country code → ISPs. The big five from Table V carry the
+// paper's approximate within-country shares (e.g. AS4134 ≈ 21 % of all
+// infections given China ≈ 43 %).
+var ISPTable = map[string][]ISP{
+	"CN": {
+		{4134, "China Telecom", 0.49, "dyn.chinatelecom.com.cn"},
+		{4837, "Unicom Liaoning", 0.38, "ln.chinaunicom.cn"},
+		{9808, "China Mobile", 0.08, "gd.chinamobile.com"},
+		{4538, "CERNET", 0.05, "edu.cn"},
+	},
+	"IN": {
+		{9829, "BSNL", 0.52, "bsnl.in"},
+		{45609, "Bharti Airtel", 0.28, "airtelbroadband.in"},
+		{17488, "Hathway", 0.20, "hathway.com"},
+	},
+	"BR": {
+		{27699, "Vivo", 0.59, "dsl.telesp.net.br"},
+		{28573, "Claro BR", 0.26, "virtua.com.br"},
+		{18881, "Oi Velox", 0.15, "veloxzone.com.br"},
+	},
+	"IR": {
+		{58224, "TCI Iran", 0.55, "dsl.tci.ir"},
+		{31549, "Aria Shatel", 0.45, "shatel.ir"},
+	},
+	"MX": {
+		{58244, "Axtel", 0.86, "axtel.net"},
+		{8151, "Uninet Telmex", 0.14, "prod-infinitum.com.mx"},
+	},
+	"US": {
+		{7922, "Comcast", 0.40, "comcast.net"},
+		{701, "Verizon", 0.30, "verizon.net"},
+		{20115, "Charter", 0.30, "charter.com"},
+	},
+	"CZ": {
+		{5610, "O2 Czech Republic", 0.60, "broadband.o2.cz"},
+		{16019, "Vodafone Czech", 0.40, "vodafone.cz"},
+	},
+	"NL": {
+		{1136, "KPN", 0.50, "ip.kpn.nl"},
+		{49981, "WorldStream", 0.50, "worldstream.nl"},
+	},
+	"RU": {
+		{12389, "Rostelecom", 0.60, "rt.ru"},
+		{8402, "Corbina", 0.40, "corbina.ru"},
+	},
+}
+
+// genericISPs supplies ASNs for countries without a dedicated table entry.
+// The ASN is synthesized per country from this base so it stays stable.
+var genericISPs = []ISP{
+	{0, "National Telecom", 0.55, "dyn.nattel.example"},
+	{0, "Metro Broadband", 0.30, "cust.metrobb.example"},
+	{0, "Regional Cable", 0.15, "cable.region.example"},
+}
+
+// Sector labels for hosting organizations. Critical sectors are rare but
+// alarming (Table V reports Education 649, Manufacturing 240, Government
+// 184, Banking 80, Medical 79 out of ~406 k infections).
+const (
+	SectorResidential   = "Residential"
+	SectorEducation     = "Education"
+	SectorManufacturing = "Manufacturing"
+	SectorGovernment    = "Government"
+	SectorBanking       = "Banking"
+	SectorMedical       = "Medical"
+)
+
+// sectorWeights is the probability that an allocation belongs to each
+// critical sector (the remainder is residential/telecom).
+var sectorWeights = []struct {
+	Sector string
+	Weight float64
+}{
+	{SectorEducation, 0.00165},
+	{SectorManufacturing, 0.00061},
+	{SectorGovernment, 0.00047},
+	{SectorBanking, 0.00020},
+	{SectorMedical, 0.00020},
+}
+
+// ResearchOrg is a known-benign Internet measurement organization. The
+// annotate module labels their scanners Benign from rDNS, mirroring the
+// paper ("University of Michigan, Shodan, Censys, Rapid7, etc.").
+type ResearchOrg struct {
+	Name       string
+	RDNSSuffix string
+	Prefix     string // CIDR of the org's scanner pool
+}
+
+// ResearchOrgs is the registry of legitimate scanning organizations.
+var ResearchOrgs = []ResearchOrg{
+	{"Censys (University of Michigan)", "census.umich.edu", "141.212.120.0/24"},
+	{"Shodan", "census.shodan.io", "71.6.135.0/24"},
+	{"Rapid7 Project Sonar", "sonar.labs.rapid7.com", "71.6.233.0/24"},
+	{"ShadowServer Foundation", "scan.shadowserver.org", "184.105.139.0/24"},
+	{"BinaryEdge", "binaryedge.ninja", "185.142.236.0/24"},
+	{"Stretchoid", "stretchoid.com", "162.142.125.0/24"},
+}

@@ -1,0 +1,261 @@
+// Package store provides eX-IoT's three storage backends as in-memory,
+// concurrency-safe substitutes: a document store with Mongo-style
+// ObjectIDs (the "latest threat information" database), a historical
+// variant with a lapsing retention window (the two-week database), and a
+// Redis-like key-value store with optional TTL (the ObjectID cache used
+// for fast END_FLOW status updates).
+package store
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ObjectID is a Mongo-shaped document identifier: 4 bytes of unix time,
+// 8 bytes of process-local counter, hex-encoded.
+type ObjectID string
+
+var objectIDCounter atomic.Uint64
+
+// NewObjectID mints an ObjectID stamped with ts.
+func NewObjectID(ts time.Time) ObjectID {
+	var raw [12]byte
+	binary.BigEndian.PutUint32(raw[0:], uint32(ts.Unix()))
+	binary.BigEndian.PutUint64(raw[4:], objectIDCounter.Add(1))
+	return ObjectID(hex.EncodeToString(raw[:]))
+}
+
+// Time extracts the timestamp an ObjectID was minted with.
+func (id ObjectID) Time() time.Time {
+	raw, err := hex.DecodeString(string(id))
+	if err != nil || len(raw) != 12 {
+		return time.Time{}
+	}
+	return time.Unix(int64(binary.BigEndian.Uint32(raw[0:4])), 0).UTC()
+}
+
+// Collection is a typed in-memory document store keyed by ObjectID.
+type Collection[T any] struct {
+	mu   sync.RWMutex
+	docs map[ObjectID]T
+	// order preserves insertion sequence for deterministic scans.
+	order []ObjectID
+}
+
+// NewCollection creates an empty collection.
+func NewCollection[T any]() *Collection[T] {
+	return &Collection[T]{docs: make(map[ObjectID]T)}
+}
+
+// Insert stores doc under a fresh ObjectID stamped with ts.
+func (c *Collection[T]) Insert(ts time.Time, doc T) ObjectID {
+	id := NewObjectID(ts)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.docs[id] = doc
+	c.order = append(c.order, id)
+	return id
+}
+
+// Get fetches a document by id.
+func (c *Collection[T]) Get(id ObjectID) (T, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	doc, ok := c.docs[id]
+	return doc, ok
+}
+
+// Update applies fn to the document under id; it reports whether the
+// document existed. Searching by ObjectID is O(1), which is exactly why
+// the pipeline caches ObjectIDs in the KV store instead of scanning for
+// the latest record of an IP.
+func (c *Collection[T]) Update(id ObjectID, fn func(*T)) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	doc, ok := c.docs[id]
+	if !ok {
+		return false
+	}
+	fn(&doc)
+	c.docs[id] = doc
+	return true
+}
+
+// Len returns the document count.
+func (c *Collection[T]) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.docs)
+}
+
+// Find returns every document matching the filter, in insertion order.
+// A nil filter returns everything.
+func (c *Collection[T]) Find(filter func(T) bool) []T {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []T
+	for _, id := range c.order {
+		doc, ok := c.docs[id]
+		if !ok {
+			continue
+		}
+		if filter == nil || filter(doc) {
+			out = append(out, doc)
+		}
+	}
+	return out
+}
+
+// FindIDs returns matching (id, document) pairs in insertion order.
+func (c *Collection[T]) FindIDs(filter func(T) bool) ([]ObjectID, []T) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var ids []ObjectID
+	var docs []T
+	for _, id := range c.order {
+		doc, ok := c.docs[id]
+		if !ok {
+			continue
+		}
+		if filter == nil || filter(doc) {
+			ids = append(ids, id)
+			docs = append(docs, doc)
+		}
+	}
+	return ids, docs
+}
+
+// Delete removes a document.
+func (c *Collection[T]) Delete(id ObjectID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.docs[id]; !ok {
+		return false
+	}
+	delete(c.docs, id)
+	return true
+}
+
+// Expire deletes documents whose ObjectID timestamp is older than cutoff
+// and returns how many were removed — the historical database's lapsing
+// two-week retention.
+func (c *Collection[T]) Expire(cutoff time.Time) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := 0
+	keep := c.order[:0]
+	for _, id := range c.order {
+		if _, live := c.docs[id]; !live {
+			continue
+		}
+		if id.Time().Before(cutoff) {
+			delete(c.docs, id)
+			removed++
+			continue
+		}
+		keep = append(keep, id)
+	}
+	c.order = keep
+	return removed
+}
+
+// KV is a Redis-like string store with optional per-key expiry.
+type KV struct {
+	mu    sync.RWMutex
+	data  map[string]kvEntry
+	clock func() time.Time
+}
+
+type kvEntry struct {
+	value     string
+	expiresAt time.Time // zero = no expiry
+}
+
+// NewKV creates an empty KV store using the real clock.
+func NewKV() *KV { return NewKVWithClock(time.Now) }
+
+// NewKVWithClock creates a KV store with an injected clock (tests, and
+// the pipeline's simulated time).
+func NewKVWithClock(clock func() time.Time) *KV {
+	return &KV{data: make(map[string]kvEntry), clock: clock}
+}
+
+// Set stores value under key with no expiry.
+func (kv *KV) Set(key, value string) {
+	kv.SetTTL(key, value, 0)
+}
+
+// SetTTL stores value under key, expiring after ttl (0 = never).
+func (kv *KV) SetTTL(key, value string, ttl time.Duration) {
+	e := kvEntry{value: value}
+	if ttl > 0 {
+		e.expiresAt = kv.clock().Add(ttl)
+	}
+	kv.mu.Lock()
+	kv.data[key] = e
+	kv.mu.Unlock()
+}
+
+// Get fetches key's value if present and unexpired.
+func (kv *KV) Get(key string) (string, bool) {
+	kv.mu.RLock()
+	e, ok := kv.data[key]
+	kv.mu.RUnlock()
+	if !ok {
+		return "", false
+	}
+	if !e.expiresAt.IsZero() && kv.clock().After(e.expiresAt) {
+		kv.Del(key)
+		return "", false
+	}
+	return e.value, true
+}
+
+// Del removes key; it reports whether the key existed.
+func (kv *KV) Del(key string) bool {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if _, ok := kv.data[key]; !ok {
+		return false
+	}
+	delete(kv.data, key)
+	return true
+}
+
+// Len returns the number of live keys (expired keys are swept lazily).
+func (kv *KV) Len() int {
+	now := kv.clock()
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	n := 0
+	for k, e := range kv.data {
+		if !e.expiresAt.IsZero() && now.After(e.expiresAt) {
+			delete(kv.data, k)
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// Keys returns the live keys, sorted (deterministic iteration for tests
+// and dashboards).
+func (kv *KV) Keys() []string {
+	now := kv.clock()
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	out := make([]string, 0, len(kv.data))
+	for k, e := range kv.data {
+		if !e.expiresAt.IsZero() && now.After(e.expiresAt) {
+			delete(kv.data, k)
+			continue
+		}
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

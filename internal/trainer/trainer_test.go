@@ -1,0 +1,209 @@
+package trainer
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"exiot/internal/features"
+	"exiot/internal/ml"
+)
+
+var t0 = time.Date(2020, 12, 9, 0, 0, 0, 0, time.UTC)
+
+// synthExample builds a linearly-shifted raw vector per class so the
+// models have signal to find.
+func synthExample(rng *rand.Rand, label int, ts time.Time) Example {
+	raw := make([]float64, features.Dim)
+	shift := 0.0
+	if label == 1 {
+		shift = 2.0
+	}
+	for i := range raw {
+		raw[i] = shift + rng.NormFloat64()
+	}
+	return Example{Time: ts, IP: "x", Raw: raw, Label: label}
+}
+
+func fillTrainer(t *Trainer, rng *rand.Rand, n int, ts time.Time) {
+	for i := 0; i < n; i++ {
+		t.Add(synthExample(rng, i%2, ts))
+	}
+}
+
+func TestRetrainProducesUsableModel(t *testing.T) {
+	tr := New(Config{SearchIterations: 3, Seed: 1})
+	rng := rand.New(rand.NewSource(1))
+	fillTrainer(tr, rng, 300, t0)
+	m, err := tr.Retrain(t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AUC < 0.95 {
+		t.Errorf("AUC = %.3f on separable data, want ≈1", m.AUC)
+	}
+	if m.TrainSize == 0 || m.TestSize == 0 {
+		t.Errorf("split sizes = %d/%d", m.TrainSize, m.TestSize)
+	}
+	// 20/80 split shape.
+	frac := float64(m.TrainSize) / float64(m.TrainSize+m.TestSize)
+	if frac < 0.15 || frac > 0.25 {
+		t.Errorf("train fraction = %.2f, want ≈0.20", frac)
+	}
+	// The model predicts the right way around.
+	iot := synthExample(rng, 1, t0)
+	non := synthExample(rng, 0, t0)
+	if lbl, score := m.Predict(iot.Raw); lbl != 1 || score < 0.5 {
+		t.Errorf("IoT example predicted %d (%.2f)", lbl, score)
+	}
+	if lbl, _ := m.Predict(non.Raw); lbl != 0 {
+		t.Errorf("non-IoT example predicted %d", lbl)
+	}
+}
+
+func TestRetrainRequiresBothClasses(t *testing.T) {
+	tr := New(Config{})
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		tr.Add(synthExample(rng, 1, t0))
+	}
+	if _, err := tr.Retrain(t0.Add(time.Hour)); !errors.Is(err, ErrNotEnoughData) {
+		t.Errorf("single-class retrain error = %v, want ErrNotEnoughData", err)
+	}
+	empty := New(Config{})
+	if _, err := empty.Retrain(t0); !errors.Is(err, ErrNotEnoughData) {
+		t.Errorf("empty retrain error = %v", err)
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	tr := New(Config{WindowDays: 14, SearchIterations: 2, Seed: 3})
+	rng := rand.New(rand.NewSource(3))
+	// 100 stale examples 20 days old, 100 fresh.
+	fillTrainer(tr, rng, 100, t0.Add(-20*24*time.Hour))
+	fillTrainer(tr, rng, 100, t0.Add(-time.Hour))
+	if tr.WindowSize() != 200 {
+		t.Fatalf("window = %d before eviction", tr.WindowSize())
+	}
+	if _, err := tr.Retrain(t0); err != nil {
+		t.Fatal(err)
+	}
+	if tr.WindowSize() != 100 {
+		t.Errorf("window = %d after eviction, want 100", tr.WindowSize())
+	}
+}
+
+func TestModelArchiving(t *testing.T) {
+	dir := t.TempDir()
+	tr := New(Config{SearchIterations: 2, Seed: 4, ModelDir: dir})
+	rng := rand.New(rand.NewSource(4))
+	fillTrainer(tr, rng, 200, t0)
+	m, err := tr.Retrain(t0.Add(24 * time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := loadLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded == nil {
+		t.Fatal("no archived model")
+	}
+	if !loaded.TrainedAt.Equal(m.TrainedAt) || loaded.WindowDays != 14 {
+		t.Errorf("archive metadata = %+v", loaded)
+	}
+}
+
+func TestCompareModelsRFWins(t *testing.T) {
+	// E9: on XOR-structured data the random forest must beat the linear
+	// SVM, as in the paper's preliminary comparison.
+	tr := New(Config{Seed: 5})
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 600; i++ {
+		// XOR in two dims plus a little noise: non-linear structure a
+		// linear SVM cannot express (raw vectors need not be 120-dim;
+		// the trainer works on any consistent width).
+		raw := make([]float64, 6)
+		a, b := rng.Float64()*2-1, rng.Float64()*2-1
+		raw[0], raw[1] = a, b
+		for j := 2; j < len(raw); j++ {
+			raw[j] = rng.NormFloat64() * 0.1
+		}
+		label := 0
+		if (a > 0) != (b > 0) {
+			label = 1
+		}
+		tr.Add(Example{Time: t0, IP: "x", Raw: raw, Label: label})
+	}
+	rows, err := tr.CompareModels(t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]ModelComparison{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	rf, svm := byName["RandomForest"], byName["LinearSVM"]
+	if rf.AUC <= svm.AUC {
+		t.Errorf("RF AUC (%.3f) should beat linear SVM (%.3f)", rf.AUC, svm.AUC)
+	}
+	if rf.AUC < 0.9 {
+		t.Errorf("RF AUC = %.3f, want ≥0.9", rf.AUC)
+	}
+}
+
+func TestCompareModelsNotEnoughData(t *testing.T) {
+	tr := New(Config{})
+	if _, err := tr.CompareModels(t0); !errors.Is(err, ErrNotEnoughData) {
+		t.Errorf("error = %v, want ErrNotEnoughData", err)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	tr := New(Config{})
+	if tr.cfg.WindowDays != 14 || tr.cfg.TrainFrac != 0.2 || tr.cfg.SearchIterations != 12 {
+		t.Errorf("defaults = %+v", tr.cfg)
+	}
+	d := Default()
+	if d.WindowDays != 14 || d.TrainFrac != 0.2 {
+		t.Errorf("Default() = %+v", d)
+	}
+}
+
+func loadLatest(dir string) (*ml.SavedModel, error) { return ml.LatestModel(dir) }
+
+func TestLoadLatestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tr := New(Config{SearchIterations: 2, Seed: 9, ModelDir: dir})
+	rng := rand.New(rand.NewSource(9))
+	fillTrainer(tr, rng, 200, t0)
+	orig, err := tr.Retrain(t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded == nil {
+		t.Fatal("no model loaded")
+	}
+	// The reconstructed model must score identically to the original.
+	for i := 0; i < 20; i++ {
+		ex := synthExample(rng, i%2, t0)
+		l1, s1 := orig.Predict(ex.Raw)
+		l2, s2 := loaded.Predict(ex.Raw)
+		if l1 != l2 || s1 != s2 {
+			t.Fatalf("loaded model diverges: (%d,%.4f) vs (%d,%.4f)", l1, s1, l2, s2)
+		}
+	}
+	// Empty dir → nil model, no error.
+	m, err := LoadLatest(t.TempDir())
+	if err != nil || m != nil {
+		t.Errorf("empty dir: %v, %v", m, err)
+	}
+}

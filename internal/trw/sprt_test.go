@@ -1,0 +1,160 @@
+package trw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSPRTParamsValidate(t *testing.T) {
+	if err := DefaultSPRTParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	bad := []SPRTParams{
+		{Theta0: 0, Theta1: 0.8, Alpha: 0.01, Beta: 0.01},
+		{Theta0: 0.2, Theta1: 1, Alpha: 0.01, Beta: 0.01},
+		{Theta0: 0.8, Theta1: 0.2, Alpha: 0.01, Beta: 0.01}, // θ1 ≤ θ0
+		{Theta0: 0.2, Theta1: 0.8, Alpha: 0, Beta: 0.01},
+		{Theta0: 0.2, Theta1: 0.8, Alpha: 0.01, Beta: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d validated", i)
+		}
+	}
+	if _, err := NewSPRT(SPRTParams{}); err == nil {
+		t.Error("zero params accepted")
+	}
+}
+
+func TestDarknetFailuresReachScannerVerdict(t *testing.T) {
+	params := DefaultSPRTParams()
+	s, err := NewSPRT(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := params.DarknetThreshold()
+	for i := 0; i < want-1; i++ {
+		if v := s.ObserveFailure(); v != VerdictPending {
+			t.Fatalf("verdict %v after %d failures, want pending until %d", v, i+1, want)
+		}
+	}
+	if v := s.ObserveFailure(); v != VerdictScanner {
+		t.Fatalf("verdict %v after %d failures, want scanner", v, want)
+	}
+	if s.Observed() != want {
+		t.Errorf("observed = %d, want %d", s.Observed(), want)
+	}
+	// Decisions are terminal.
+	if v := s.ObserveSuccess(); v != VerdictScanner {
+		t.Error("terminal verdict changed")
+	}
+}
+
+func TestBenignSuccessesReachBenignVerdict(t *testing.T) {
+	s, err := NewSPRT(DefaultSPRTParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := VerdictPending
+	for i := 0; i < 100 && v == VerdictPending; i++ {
+		v = s.ObserveSuccess()
+	}
+	if v != VerdictBenign {
+		t.Fatalf("verdict = %v after successes, want benign", v)
+	}
+}
+
+func TestAlternatingStaysBalanced(t *testing.T) {
+	// With the symmetric default (θ1 = 1 − θ0), a fail and a success
+	// cancel exactly; the walk stays pending forever.
+	s, err := NewSPRT(DefaultSPRTParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		s.ObserveFailure()
+		if v := s.ObserveSuccess(); v != VerdictPending {
+			t.Fatalf("alternating walk decided %v at step %d", v, i)
+		}
+	}
+}
+
+func TestDarknetThresholdFormula(t *testing.T) {
+	p := DefaultSPRTParams()
+	n := p.DarknetThreshold()
+	// Directly: N = ⌈ln((1−β)/α) / ln(θ1/θ0)⌉ = ⌈ln(0.99/1e-5)/ln 4⌉ = 9.
+	want := int(math.Ceil(math.Log(0.99/1e-5) / math.Log(4)))
+	if n != want {
+		t.Errorf("DarknetThreshold = %d, want %d", n, want)
+	}
+}
+
+// TestParamsForPaperThreshold documents the correspondence between the
+// paper's 100-packet operating point and SPRT parameters.
+func TestParamsForPaperThreshold(t *testing.T) {
+	p, err := ParamsForDarknetThreshold(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.DarknetThreshold(); got != 100 {
+		t.Fatalf("round-trip threshold = %d, want 100", got)
+	}
+	// 100 packets at ln(4) per step implies an astronomically small α:
+	// the paper's operating point is extremely conservative about false
+	// positives, which is the right trade for an operational feed.
+	if p.Alpha > 1e-50 {
+		t.Errorf("implied α = %g, expected astronomically small", p.Alpha)
+	}
+	if _, err := ParamsForDarknetThreshold(0); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	if _, err := ParamsForDarknetThreshold(10000); err == nil {
+		t.Error("unrepresentable threshold accepted")
+	}
+}
+
+func TestParamsRoundTripProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		threshold := int(raw%400) + 1
+		p, err := ParamsForDarknetThreshold(threshold)
+		if err != nil {
+			return false
+		}
+		return p.DarknetThreshold() == threshold
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSPRTAgreesWithDetectorCounter shows the equivalence the Detector
+// relies on: on darknet traffic (failures only), the SPRT fires at
+// exactly its DarknetThreshold — a pure packet counter.
+func TestSPRTAgreesWithDetectorCounter(t *testing.T) {
+	for _, threshold := range []int{10, 50, 100, 200} {
+		p, err := ParamsForDarknetThreshold(threshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewSPRT(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fired := 0
+		for i := 1; i <= threshold+10; i++ {
+			if s.ObserveFailure() == VerdictScanner && fired == 0 {
+				fired = i
+			}
+		}
+		if fired != threshold {
+			t.Errorf("threshold %d: SPRT fired at %d", threshold, fired)
+		}
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if VerdictPending.String() != "pending" || VerdictScanner.String() != "scanner" || VerdictBenign.String() != "benign" {
+		t.Error("verdict names wrong")
+	}
+}

@@ -1,0 +1,319 @@
+// Package trw implements eX-IoT's flow-detection and packet-sampling
+// module: the backscatter filter, the Threshold-Random-Walk (TRW) scan
+// detector specialized for darknet traffic, per-source sampling, flow
+// expiry, and the per-second packet-level reports.
+//
+// On a network telescope every connection attempt is, by construction, a
+// failed connection — the darkness never answers. The sequential
+// hypothesis test of Jung et al. therefore degenerates into a likelihood
+// ratio that climbs by a constant per observed packet, i.e. a packet-count
+// threshold (the theoretic derivation is the authors' prior work, refs
+// [54, 55] of the paper). The paper's operating point: a source is a
+// scanner once it sends ≥100 packets with no inter-arrival gap above
+// 300 s and a flow duration of at least 1 minute (the duration floor
+// excludes misconfiguration bursts). After detection the next 200 packets
+// are sampled in full for the classifier, then the flow is tracked only
+// for liveness; it ends when an hour boundary finds it idle for >1 h.
+package trw
+
+import (
+	"time"
+
+	"exiot/internal/packet"
+)
+
+// Config holds the detector's operating thresholds. The zero value is
+// replaced by the paper's operating point (see Default).
+type Config struct {
+	// DetectionThreshold is the TRW packet-count threshold (paper: 100).
+	DetectionThreshold int
+	// SampleSize is the number of packets sampled after detection
+	// (paper: 200).
+	SampleSize int
+	// ExpiryGap is the maximum inter-arrival gap within a counting flow
+	// (paper: 300 s).
+	ExpiryGap time.Duration
+	// MinDuration is the minimum flow duration before detection
+	// (paper: 1 minute).
+	MinDuration time.Duration
+	// FlowEndGap is the idle period after which an hourly sweep declares
+	// a scan flow ended (paper: 1 hour).
+	FlowEndGap time.Duration
+}
+
+// Default returns the paper's operating point.
+func Default() Config {
+	return Config{
+		DetectionThreshold: 100,
+		SampleSize:         200,
+		ExpiryGap:          300 * time.Second,
+		MinDuration:        time.Minute,
+		FlowEndGap:         time.Hour,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := Default()
+	if c.DetectionThreshold <= 0 {
+		c.DetectionThreshold = d.DetectionThreshold
+	}
+	if c.SampleSize <= 0 {
+		c.SampleSize = d.SampleSize
+	}
+	if c.ExpiryGap <= 0 {
+		c.ExpiryGap = d.ExpiryGap
+	}
+	// A negative MinDuration disables the duration floor explicitly
+	// (ablation studies); zero means "use the paper's default".
+	if c.MinDuration == 0 {
+		c.MinDuration = d.MinDuration
+	} else if c.MinDuration < 0 {
+		c.MinDuration = 0
+	}
+	if c.FlowEndGap <= 0 {
+		c.FlowEndGap = d.FlowEndGap
+	}
+	return c
+}
+
+// EventKind discriminates detector events.
+type EventKind int
+
+// Detector event kinds.
+const (
+	// EventScannerDetected fires once when a source crosses the TRW
+	// threshold.
+	EventScannerDetected EventKind = iota + 1
+	// EventSample fires when the post-detection sample is complete and
+	// carries the sampled packets.
+	EventSample
+	// EventFlowEnd fires when the hourly sweep finds a scan flow idle
+	// longer than FlowEndGap.
+	EventFlowEnd
+	// EventSecondReport carries the per-second packet-level report.
+	EventSecondReport
+)
+
+// SecondReport is the per-second packet-level report the flow-detection
+// module emits ("total processed packets, number of TCP, ICMP, UDP,
+// number of newly detected scan flows, and number of packets targeting
+// specific ports").
+type SecondReport struct {
+	Second       time.Time
+	Total        int
+	TCP          int
+	UDP          int
+	ICMP         int
+	Backscatter  int
+	NewScanFlows int
+	PortPackets  map[uint16]int
+}
+
+// Event is one detector output.
+type Event struct {
+	Kind EventKind
+	// IP identifies the source for scanner/sample/flow-end events.
+	IP packet.IP
+	// FirstSeen is the start of the flow that led to detection.
+	FirstSeen time.Time
+	// DetectedAt is when the source crossed the threshold.
+	DetectedAt time.Time
+	// LastSeen is the final packet time (flow-end events).
+	LastSeen time.Time
+	// Sample carries the sampled packets (sample events).
+	Sample []packet.Packet
+	// Report carries the per-second report (report events).
+	Report *SecondReport
+}
+
+// srcState is the per-source entry of the detector's hash table, mirroring
+// the paper's GLib state {start ts, latest ts, packet count, IsScanner}.
+type srcState struct {
+	first     time.Time
+	last      time.Time
+	count     int
+	isScanner bool
+
+	detectedAt time.Time
+	sampling   bool
+	sample     []packet.Packet
+}
+
+// Stats aggregates detector lifetime counters.
+type Stats struct {
+	Processed      int64
+	Backscatter    int64
+	ScannersFound  int64
+	SamplesEmitted int64
+	FlowsEnded     int64
+	ActiveSources  int
+}
+
+// Detector is the streaming flow detector. It is not safe for concurrent
+// use; the pipeline feeds it from a single goroutine, like the paper's
+// single Libtrace loop.
+type Detector struct {
+	cfg   Config
+	emit  func(Event)
+	state map[packet.IP]*srcState
+	stats Stats
+
+	curSecond time.Time
+	report    SecondReport
+}
+
+// NewDetector creates a detector that delivers events to emit.
+func NewDetector(cfg Config, emit func(Event)) *Detector {
+	return &Detector{
+		cfg:   cfg.withDefaults(),
+		emit:  emit,
+		state: make(map[packet.IP]*srcState, 4096),
+	}
+}
+
+// Process consumes one telescope packet. Packets must arrive in
+// non-decreasing timestamp order.
+func (d *Detector) Process(p *packet.Packet) {
+	d.tickSecond(p.Timestamp)
+	d.stats.Processed++
+	d.report.Total++
+	switch p.Proto {
+	case packet.TCP:
+		d.report.TCP++
+	case packet.UDP:
+		d.report.UDP++
+	case packet.ICMP:
+		d.report.ICMP++
+	}
+
+	if p.IsBackscatter() {
+		d.stats.Backscatter++
+		d.report.Backscatter++
+		return
+	}
+	if d.report.PortPackets == nil {
+		d.report.PortPackets = make(map[uint16]int, 64)
+	}
+	d.report.PortPackets[p.DstPort]++
+
+	st, ok := d.state[p.SrcIP]
+	if !ok {
+		st = &srcState{first: p.Timestamp, last: p.Timestamp, count: 1}
+		d.state[p.SrcIP] = st
+		return
+	}
+
+	gap := p.Timestamp.Sub(st.last)
+	st.last = p.Timestamp
+
+	if st.isScanner {
+		if st.sampling {
+			st.sample = append(st.sample, *p)
+			if len(st.sample) >= d.cfg.SampleSize {
+				st.sampling = false
+				d.stats.SamplesEmitted++
+				d.emit(Event{
+					Kind:       EventSample,
+					IP:         p.SrcIP,
+					FirstSeen:  st.first,
+					DetectedAt: st.detectedAt,
+					Sample:     st.sample,
+				})
+				st.sample = nil
+			}
+		}
+		// Post-sample packets only refresh liveness.
+		return
+	}
+
+	if gap > d.cfg.ExpiryGap {
+		// Counting flow expired: restart the walk.
+		st.first = p.Timestamp
+		st.count = 1
+		return
+	}
+	st.count++
+	if st.count >= d.cfg.DetectionThreshold &&
+		p.Timestamp.Sub(st.first) >= d.cfg.MinDuration {
+		st.isScanner = true
+		st.detectedAt = p.Timestamp
+		st.count = 0 // paper: reset to zero to start packet sampling
+		st.sampling = true
+		st.sample = make([]packet.Packet, 0, d.cfg.SampleSize)
+		d.stats.ScannersFound++
+		d.report.NewScanFlows++
+		d.emit(Event{
+			Kind:       EventScannerDetected,
+			IP:         p.SrcIP,
+			FirstSeen:  st.first,
+			DetectedAt: st.detectedAt,
+		})
+	}
+}
+
+// tickSecond flushes per-second reports up to (not including) ts's second.
+func (d *Detector) tickSecond(ts time.Time) {
+	sec := ts.Truncate(time.Second)
+	if d.curSecond.IsZero() {
+		d.curSecond = sec
+		d.report = SecondReport{Second: sec}
+		return
+	}
+	for d.curSecond.Before(sec) {
+		rep := d.report
+		d.emit(Event{Kind: EventSecondReport, Report: &rep})
+		d.curSecond = d.curSecond.Add(time.Second)
+		d.report = SecondReport{Second: d.curSecond}
+	}
+}
+
+// EndHour runs the hourly sweep the paper performs before processing a new
+// hour: scan flows idle longer than FlowEndGap are declared ended (with an
+// EventFlowEnd), and stale non-scanner state is dropped.
+func (d *Detector) EndHour(now time.Time) {
+	for ip, st := range d.state {
+		if now.Sub(st.last) < d.cfg.FlowEndGap {
+			continue
+		}
+		if st.isScanner {
+			// A flow still mid-sample when it dies is emitted short: the
+			// organizer decides whether enough packets were collected.
+			if st.sampling && len(st.sample) > 0 {
+				d.stats.SamplesEmitted++
+				d.emit(Event{
+					Kind:       EventSample,
+					IP:         ip,
+					FirstSeen:  st.first,
+					DetectedAt: st.detectedAt,
+					Sample:     st.sample,
+				})
+			}
+			d.stats.FlowsEnded++
+			d.emit(Event{
+				Kind:       EventFlowEnd,
+				IP:         ip,
+				FirstSeen:  st.first,
+				DetectedAt: st.detectedAt,
+				LastSeen:   st.last,
+			})
+		}
+		delete(d.state, ip)
+	}
+}
+
+// Flush emits the pending per-second report and any in-flight short
+// samples, then ends every live scan flow. Call once at end of input.
+func (d *Detector) Flush(now time.Time) {
+	if !d.curSecond.IsZero() {
+		rep := d.report
+		d.emit(Event{Kind: EventSecondReport, Report: &rep})
+	}
+	d.EndHour(now.Add(24 * time.Hour))
+}
+
+// Stats returns lifetime counters.
+func (d *Detector) Stats() Stats {
+	s := d.stats
+	s.ActiveSources = len(d.state)
+	return s
+}

@@ -1,0 +1,268 @@
+// Package wire is the transport between the CAIDA-side flow sampler and
+// the eX-IoT feed server: length-prefixed frames over TCP with
+// stop-and-wait acknowledgements and transparent reconnection, standing
+// in for the paper's socat-to-local-port plus SSH-tunnel arrangement. The
+// design goal is the same one the paper states: "if any network
+// communication is disrupted, the flow detection and sampling module will
+// go idle until the next stage can reconnect ... no data will be lost due
+// to network failures."
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Kind tags a frame's payload type.
+type Kind uint8
+
+// Frame kinds carried between the sampler and the feed server.
+const (
+	// KindSample carries a sampled scanner flow.
+	KindSample Kind = iota + 1
+	// KindFlowEnd signals that a scan flow ended.
+	KindFlowEnd
+	// KindReport carries a per-second packet-level report.
+	KindReport
+	// KindControl carries control-plane messages.
+	KindControl
+)
+
+// Frame is one transport unit.
+type Frame struct {
+	Seq     uint64
+	Kind    Kind
+	Payload []byte
+}
+
+// maxFrameSize bounds a frame payload (a 200-packet sample serializes to
+// well under this).
+const maxFrameSize = 8 << 20
+
+func writeFrame(w io.Writer, f *Frame) error {
+	var hdr [13]byte
+	binary.BigEndian.PutUint64(hdr[0:], f.Seq)
+	hdr[8] = byte(f.Kind)
+	binary.BigEndian.PutUint32(hdr[9:], uint32(len(f.Payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(f.Payload)
+	return err
+}
+
+func readFrame(r io.Reader) (*Frame, error) {
+	var hdr [13]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[9:])
+	if n > maxFrameSize {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	f := &Frame{
+		Seq:     binary.BigEndian.Uint64(hdr[0:]),
+		Kind:    Kind(hdr[8]),
+		Payload: make([]byte, n),
+	}
+	if _, err := io.ReadFull(r, f.Payload); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Sender ships frames to a receiver with at-least-once delivery: each
+// frame is retried across reconnects until acknowledged. Receivers
+// de-duplicate by sequence number, so the stream is effectively
+// exactly-once in order.
+type Sender struct {
+	addr string
+	// RetryInterval is the idle wait between reconnect attempts.
+	RetryInterval time.Duration
+	// MaxRetries bounds reconnect attempts per Send (0 = unbounded).
+	MaxRetries int
+
+	mu     sync.Mutex
+	conn   net.Conn
+	seq    uint64
+	closed bool
+}
+
+// NewSender creates a sender targeting addr. No connection is made until
+// the first Send.
+func NewSender(addr string) *Sender {
+	return &Sender{addr: addr, RetryInterval: 50 * time.Millisecond, MaxRetries: 200}
+}
+
+// Send delivers one payload, blocking until the receiver acknowledges it.
+func (s *Sender) Send(kind Kind, payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("wire: sender closed")
+	}
+	s.seq++
+	f := &Frame{Seq: s.seq, Kind: kind, Payload: payload}
+
+	attempts := 0
+	for {
+		if err := s.trySend(f); err == nil {
+			return nil
+		}
+		// Connection failed mid-frame: drop it and go idle until the
+		// other side is reachable again.
+		s.dropConn()
+		attempts++
+		if s.MaxRetries > 0 && attempts >= s.MaxRetries {
+			return fmt.Errorf("wire: send seq %d: receiver unreachable after %d attempts", f.Seq, attempts)
+		}
+		time.Sleep(s.RetryInterval)
+	}
+}
+
+func (s *Sender) trySend(f *Frame) error {
+	if s.conn == nil {
+		conn, err := net.Dial("tcp", s.addr)
+		if err != nil {
+			return err
+		}
+		s.conn = conn
+	}
+	if err := writeFrame(s.conn, f); err != nil {
+		return err
+	}
+	// Stop-and-wait: the receiver echoes the sequence number after the
+	// frame is handed to the application.
+	var ack [8]byte
+	if err := s.conn.SetReadDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		return err
+	}
+	if _, err := io.ReadFull(s.conn, ack[:]); err != nil {
+		return err
+	}
+	if got := binary.BigEndian.Uint64(ack[:]); got != f.Seq {
+		return fmt.Errorf("wire: ack %d for frame %d", got, f.Seq)
+	}
+	return nil
+}
+
+func (s *Sender) dropConn() {
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn = nil
+	}
+}
+
+// Close releases the connection.
+func (s *Sender) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.dropConn()
+	return nil
+}
+
+// Receiver accepts sender connections and delivers de-duplicated frames
+// to a handler, acknowledging each one after the handler returns.
+type Receiver struct {
+	ln      net.Listener
+	handler func(Frame)
+
+	mu      sync.Mutex
+	lastSeq uint64
+	wg      sync.WaitGroup
+	closed  bool
+	conns   map[net.Conn]struct{}
+}
+
+// NewReceiver listens on addr ("host:0" picks a free port) and invokes
+// handler for every new frame, in sequence order per sender.
+func NewReceiver(addr string, handler func(Frame)) (*Receiver, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen: %w", err)
+	}
+	r := &Receiver{ln: ln, handler: handler, conns: make(map[net.Conn]struct{})}
+	r.wg.Add(1)
+	go r.acceptLoop()
+	return r, nil
+}
+
+// Addr returns the receiver's listen address.
+func (r *Receiver) Addr() string { return r.ln.Addr().String() }
+
+func (r *Receiver) acceptLoop() {
+	defer r.wg.Done()
+	for {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			conn.Close()
+			return
+		}
+		r.conns[conn] = struct{}{}
+		r.mu.Unlock()
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			defer func() {
+				r.mu.Lock()
+				delete(r.conns, conn)
+				r.mu.Unlock()
+			}()
+			r.serve(conn)
+		}()
+	}
+}
+
+func (r *Receiver) serve(conn net.Conn) {
+	defer conn.Close()
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		r.mu.Lock()
+		fresh := f.Seq > r.lastSeq
+		if fresh {
+			r.lastSeq = f.Seq
+		}
+		closed := r.closed
+		r.mu.Unlock()
+		if closed {
+			return
+		}
+		if fresh {
+			// Deliver before acking so an acked frame is never lost.
+			r.handler(*f)
+		}
+		var ack [8]byte
+		binary.BigEndian.PutUint64(ack[:], f.Seq)
+		if _, err := conn.Write(ack[:]); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, tears down open connections, and waits for
+// in-flight handlers.
+func (r *Receiver) Close() error {
+	r.mu.Lock()
+	r.closed = true
+	for conn := range r.conns {
+		conn.Close()
+	}
+	r.mu.Unlock()
+	err := r.ln.Close()
+	r.wg.Wait()
+	return err
+}

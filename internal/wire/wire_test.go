@@ -1,0 +1,214 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collector gathers delivered frames.
+type collector struct {
+	mu     sync.Mutex
+	frames []Frame
+}
+
+func (c *collector) handle(f Frame) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.frames = append(c.frames, f)
+}
+
+func (c *collector) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.frames)
+}
+
+func (c *collector) frame(i int) Frame {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.frames[i]
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Frame{Seq: 42, Kind: KindSample, Payload: []byte("hello")}
+	if err := writeFrame(&buf, &in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Seq != 42 || out.Kind != KindSample || string(out.Payload) != "hello" {
+		t.Errorf("roundtrip = %+v", out)
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	var buf bytes.Buffer
+	f := Frame{Seq: 1, Kind: KindControl, Payload: make([]byte, 16)}
+	if err := writeFrame(&buf, &f); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the length field to exceed the cap.
+	raw := buf.Bytes()
+	raw[9], raw[10], raw[11], raw[12] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, err := readFrame(bytes.NewReader(raw)); err == nil {
+		t.Error("oversized frame accepted")
+	}
+}
+
+func TestSendReceive(t *testing.T) {
+	var c collector
+	r, err := NewReceiver("127.0.0.1:0", c.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	s := NewSender(r.Addr())
+	defer s.Close()
+	for i := 0; i < 20; i++ {
+		if err := s.Send(KindSample, []byte(fmt.Sprintf("msg-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.len() != 20 {
+		t.Fatalf("delivered %d frames, want 20", c.len())
+	}
+	for i := 0; i < 20; i++ {
+		f := c.frame(i)
+		if string(f.Payload) != fmt.Sprintf("msg-%d", i) {
+			t.Fatalf("frame %d payload %q", i, f.Payload)
+		}
+		if f.Seq != uint64(i+1) {
+			t.Fatalf("frame %d seq %d", i, f.Seq)
+		}
+	}
+}
+
+func TestReconnectWithoutLoss(t *testing.T) {
+	var c collector
+	r, err := NewReceiver("127.0.0.1:0", c.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := r.Addr()
+
+	s := NewSender(addr)
+	defer s.Close()
+	if err := s.Send(KindSample, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the connection out from under the sender.
+	s.mu.Lock()
+	s.conn.Close()
+	s.mu.Unlock()
+
+	// The next send must transparently reconnect and deliver.
+	if err := s.Send(KindSample, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if c.len() != 2 {
+		t.Fatalf("delivered %d frames, want 2", c.len())
+	}
+	if string(c.frame(1).Payload) != "two" {
+		t.Errorf("frame 1 = %q", c.frame(1).Payload)
+	}
+	r.Close()
+}
+
+func TestSenderGoesIdleUntilReceiverUp(t *testing.T) {
+	// Start the sender first: it must keep retrying ("go idle") until
+	// the receiver appears, then deliver.
+	var c collector
+
+	// Reserve an address by binding and closing.
+	tmp, err := NewReceiver("127.0.0.1:0", func(Frame) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := tmp.Addr()
+	tmp.Close()
+
+	s := NewSender(addr)
+	s.RetryInterval = 10 * time.Millisecond
+	defer s.Close()
+
+	errc := make(chan error, 1)
+	go func() { errc <- s.Send(KindFlowEnd, []byte("late")) }()
+
+	time.Sleep(50 * time.Millisecond) // sender is spinning idle
+	r, err := NewReceiver(addr, c.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("send never completed after receiver came up")
+	}
+	if c.len() != 1 || string(c.frame(0).Payload) != "late" {
+		t.Fatalf("frames = %d", c.len())
+	}
+}
+
+func TestSenderGivesUpAfterMaxRetries(t *testing.T) {
+	s := NewSender("127.0.0.1:1") // nothing listens on port 1
+	s.RetryInterval = time.Millisecond
+	s.MaxRetries = 3
+	defer s.Close()
+	if err := s.Send(KindControl, []byte("x")); err == nil {
+		t.Error("send to dead address should fail after MaxRetries")
+	}
+}
+
+func TestSenderClosed(t *testing.T) {
+	s := NewSender("127.0.0.1:1")
+	s.Close()
+	if err := s.Send(KindControl, nil); err == nil {
+		t.Error("send on closed sender should fail")
+	}
+}
+
+func TestDuplicateFramesSuppressed(t *testing.T) {
+	var c collector
+	r, err := NewReceiver("127.0.0.1:0", c.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	s := NewSender(r.Addr())
+	defer s.Close()
+	if err := s.Send(KindSample, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a retransmit of an already-acked frame (ack lost): write
+	// the same seq again on a raw connection.
+	s.mu.Lock()
+	conn := s.conn
+	dup := Frame{Seq: 1, Kind: KindSample, Payload: []byte("first")}
+	if err := writeFrame(conn, &dup); err != nil {
+		s.mu.Unlock()
+		t.Fatal(err)
+	}
+	var ack [8]byte
+	if _, err := conn.Read(ack[:]); err != nil {
+		s.mu.Unlock()
+		t.Fatal(err)
+	}
+	s.mu.Unlock()
+	if c.len() != 1 {
+		t.Errorf("duplicate frame delivered: %d frames", c.len())
+	}
+}
