@@ -7,6 +7,8 @@
 package exiot_test
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -15,6 +17,7 @@ import (
 	"exiot/internal/features"
 	"exiot/internal/ml"
 	"exiot/internal/packet"
+	"exiot/internal/pipeline"
 	"exiot/internal/simnet"
 	"exiot/internal/trw"
 )
@@ -368,6 +371,49 @@ func BenchmarkForestPredict(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		forest.PredictProba(x)
+	}
+}
+
+// BenchmarkIngestThroughput measures the full ingest hot path — hour
+// generation plus TRW detection — at 1, 4, and GOMAXPROCS workers,
+// reporting pkts/sec and ns/pkt so the parallel speedup is visible in the
+// bench trajectory. Workers=1 is the exact legacy serial path; higher
+// counts use the parallel generator and the sharded detector, whose
+// output is proven identical (TestParallelIngestEquivalence).
+func BenchmarkIngestThroughput(b *testing.B) {
+	cfg := simnet.DefaultConfig(2040)
+	cfg.NumInfected = 400
+	cfg.NumNonIoT = 60
+	cfg.NumMisconfig = 40
+	cfg.NumBackscat = 10
+	cfg.MaxPacketsPerHostHour = 2000
+	w := simnet.NewWorld(cfg)
+	hour := w.Start().Add(18 * time.Hour)
+	hourEnd := hour.Add(time.Hour)
+
+	counts := []int{1, 4}
+	if gmp := runtime.GOMAXPROCS(0); gmp != 1 && gmp != 4 {
+		counts = append(counts, gmp)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var pkts, wall int64
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				hourPkts := w.GenerateHourWorkers(hour, workers)
+				sampler := pipeline.NewSamplerWorkers(trw.Default(), 0, workers, func(pipeline.SamplerEvent) {})
+				sampler.ProcessHour(hourPkts, hourEnd)
+				sampler.Flush(hourEnd)
+				wall += time.Since(start).Nanoseconds()
+				pkts += int64(len(hourPkts))
+			}
+			if pkts == 0 {
+				b.Fatal("no packets generated")
+			}
+			b.ReportMetric(float64(pkts)/(float64(wall)/1e9), "pkts/sec")
+			b.ReportMetric(float64(wall)/float64(pkts), "ns/pkt")
+		})
 	}
 }
 

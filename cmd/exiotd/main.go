@@ -47,16 +47,17 @@ func main() {
 		backscat  = flag.Int("backscatter", 10, "backscatter sources (world rebuild)")
 		whois     = flag.Bool("notify-whois", false, "send WHOIS abuse-contact notifications")
 		modelDir  = flag.String("models", "", "model archive directory (archive daily models; restore latest on start)")
+		workers   = flag.Int("workers", 0, "ingest workers for generation and detection (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 	if err := run(*listen, *apiAddr, *apiKey, *simulate, *hours, *seed,
-		*infected, *nonIoT, *research, *misconfig, *backscat, *whois, *modelDir); err != nil {
+		*infected, *nonIoT, *research, *misconfig, *backscat, *whois, *modelDir, *workers); err != nil {
 		log.Fatal(err)
 	}
 }
 
 func run(listen, apiAddr, apiKey string, simulate bool, hours int, seed int64,
-	infected, nonIoT, research, misconfig, backscat int, whois bool, modelDir string) error {
+	infected, nonIoT, research, misconfig, backscat int, whois bool, modelDir string, workers int) error {
 	wcfg := simnet.DefaultConfig(seed)
 	wcfg.NumInfected = infected
 	wcfg.NumNonIoT = nonIoT
@@ -67,10 +68,12 @@ func run(listen, apiAddr, apiKey string, simulate bool, hours int, seed int64,
 	if wcfg.Days < 1 {
 		wcfg.Days = 1
 	}
+	wcfg.Workers = workers
 	w := simnet.NewWorld(wcfg)
 
 	mailer := &notify.MemoryMailer{}
 	pcfg := pipeline.DefaultLocalConfig()
+	pcfg.Workers = workers
 	pcfg.Server.Notify = notify.Config{NotifyWhois: whois}
 	pcfg.Server.Trainer.ModelDir = modelDir
 

@@ -33,14 +33,15 @@ func main() {
 		pollEvery  = flag.Duration("poll", 5*time.Second, "poll interval with -follow")
 		threshold  = flag.Int("threshold", 100, "TRW detection threshold (packets)")
 		sampleSize = flag.Int("sample", 200, "post-detection sample size (packets)")
+		workers    = flag.Int("workers", 0, "detection workers (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
-	if err := run(*in, *connect, *follow, *pollEvery, *threshold, *sampleSize); err != nil {
+	if err := run(*in, *connect, *follow, *pollEvery, *threshold, *sampleSize, *workers); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(in, connect string, follow bool, pollEvery time.Duration, threshold, sampleSize int) error {
+func run(in, connect string, follow bool, pollEvery time.Duration, threshold, sampleSize, workers int) error {
 	sender := wire.NewSender(connect)
 	defer sender.Close()
 
@@ -48,7 +49,7 @@ func run(in, connect string, follow bool, pollEvery time.Duration, threshold, sa
 	cfg := trw.Default()
 	cfg.DetectionThreshold = threshold
 	cfg.SampleSize = sampleSize
-	sampler := pipeline.NewSampler(cfg, 0, func(e pipeline.SamplerEvent) {
+	sampler := pipeline.NewSamplerWorkers(cfg, 0, workers, func(e pipeline.SamplerEvent) {
 		kind, data, err := pipeline.EncodeEvent(e)
 		if err != nil {
 			sendErr = err

@@ -59,7 +59,7 @@ func TestRunShipsEventsOverWire(t *testing.T) {
 	}
 	defer recv.Close()
 
-	if err := run(dir, recv.Addr(), false, time.Second, 100, 200); err != nil {
+	if err := run(dir, recv.Addr(), false, time.Second, 100, 200, 2); err != nil {
 		t.Fatal(err)
 	}
 
@@ -82,13 +82,13 @@ func TestRunEmptyDir(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer recv.Close()
-	if err := run(t.TempDir(), recv.Addr(), false, time.Second, 100, 200); err == nil {
+	if err := run(t.TempDir(), recv.Addr(), false, time.Second, 100, 200, 1); err == nil {
 		t.Error("empty capture dir accepted")
 	}
 }
 
 func TestRunMissingDir(t *testing.T) {
-	if err := run("/nonexistent/captures", "127.0.0.1:1", false, time.Second, 100, 200); err == nil {
+	if err := run("/nonexistent/captures", "127.0.0.1:1", false, time.Second, 100, 200, 1); err == nil {
 		t.Error("missing dir accepted")
 	}
 }

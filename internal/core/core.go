@@ -24,6 +24,11 @@ type Config struct {
 	Pipeline pipeline.LocalConfig
 	// APIKeys maps token → client name for the REST API.
 	APIKeys map[string]string
+	// Workers, when non-zero, overrides the ingest worker count for both
+	// traffic generation (World.Workers) and TRW detection
+	// (Pipeline.Workers). 1 = exact legacy serial path; results are
+	// identical at any setting.
+	Workers int
 }
 
 // DefaultConfig returns a laptop-scale deployment seeded with seed.
@@ -49,6 +54,10 @@ type System struct {
 func NewSystem(cfg Config) *System {
 	if cfg.World.NumInfected == 0 && cfg.World.NumNonIoT == 0 {
 		cfg.World = simnet.DefaultConfig(cfg.World.Seed)
+	}
+	if cfg.Workers != 0 {
+		cfg.World.Workers = cfg.Workers
+		cfg.Pipeline.Workers = cfg.Workers
 	}
 	s := &System{cfg: cfg}
 	s.world = simnet.NewWorld(cfg.World)

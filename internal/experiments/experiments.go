@@ -35,6 +35,9 @@ type Scale struct {
 	MaxPacketsPerHostHour int
 	// SearchIterations bounds the trainer's hyper-parameter search.
 	SearchIterations int
+	// Workers is the ingest worker count for generation and detection
+	// (0 = GOMAXPROCS, 1 = serial). Results are identical at any setting.
+	Workers int
 }
 
 // DefaultScale returns a laptop-scale run (~1/100 of the paper's volume).
@@ -76,6 +79,7 @@ func (s Scale) worldConfig() simnet.Config {
 	cfg.NumBackscat = s.Backscat
 	cfg.Days = s.Days
 	cfg.MaxPacketsPerHostHour = s.MaxPacketsPerHostHour
+	cfg.Workers = s.Workers
 	return cfg
 }
 
@@ -90,6 +94,7 @@ func (s Scale) systemConfig() core.Config {
 		SearchIterations: s.SearchIterations,
 		Seed:             s.Seed,
 	}
+	cfg.Workers = s.Workers
 	return cfg
 }
 

@@ -16,6 +16,12 @@ type LocalConfig struct {
 	MinSamples int
 	Server     ServerConfig
 
+	// Workers sets the detection worker count: 0 = GOMAXPROCS,
+	// 1 = the exact legacy serial path, >1 = that many detector shards.
+	// The event stream (and therefore the feed) is identical at any
+	// setting; only throughput changes.
+	Workers int
+
 	// CollectionDelay models CAIDA's collect/compress/store lag before an
 	// hourly capture is published (paper: ≈3.5 h — the dominant
 	// contributor to feed latency).
@@ -56,7 +62,7 @@ func NewLocal(cfg LocalConfig, prober zmap.Prober, reg *registry.Registry, maile
 	}
 	l := &Local{cfg: cfg}
 	l.server = NewServer(cfg.Server, prober, reg, mailer)
-	l.sampler = NewSampler(cfg.TRW, cfg.MinSamples, func(e SamplerEvent) {
+	l.sampler = NewSamplerWorkers(cfg.TRW, cfg.MinSamples, cfg.Workers, func(e SamplerEvent) {
 		l.server.HandleEvent(e, l.availableAt)
 	})
 	return l

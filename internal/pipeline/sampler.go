@@ -7,6 +7,7 @@
 package pipeline
 
 import (
+	"runtime"
 	"time"
 
 	"exiot/internal/organizer"
@@ -45,9 +46,16 @@ type SamplerEvent struct {
 }
 
 // Sampler is the CAIDA-side half: TRW detection plus the packet
-// organizer, consuming hourly packet batches.
+// organizer, consuming hourly packet batches. With one worker it runs the
+// serial detector on the caller's goroutine; with more it runs the
+// sharded detector, whose merged event stream is identical to the serial
+// one — either way events reach emit in deterministic order on the
+// caller's goroutine, so the organizer and everything downstream stay
+// single-threaded.
 type Sampler struct {
-	detector *trw.Detector
+	detector *trw.Detector        // workers == 1
+	sharded  *trw.ShardedDetector // workers > 1
+	workers  int
 	org      *organizer.Organizer
 	emit     func(SamplerEvent)
 
@@ -55,16 +63,33 @@ type Sampler struct {
 	packetsTotal   int64
 }
 
-// NewSampler builds the CAIDA-side half. Events are delivered to emit in
-// processing order.
+// NewSampler builds the CAIDA-side half on the serial (single-worker)
+// path. Events are delivered to emit in processing order.
 func NewSampler(trwCfg trw.Config, minSamples int, emit func(SamplerEvent)) *Sampler {
-	s := &Sampler{org: organizer.New(), emit: emit}
+	return NewSamplerWorkers(trwCfg, minSamples, 1, emit)
+}
+
+// NewSamplerWorkers builds the CAIDA-side half with an explicit detection
+// worker count: 0 selects GOMAXPROCS, 1 the exact legacy serial path, >1
+// a sharded detector with that many shards.
+func NewSamplerWorkers(trwCfg trw.Config, minSamples, workers int, emit func(SamplerEvent)) *Sampler {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Sampler{workers: workers, org: organizer.New(), emit: emit}
 	if minSamples > 0 {
 		s.org.MinSamples = minSamples
 	}
-	s.detector = trw.NewDetector(trwCfg, s.onDetectorEvent)
+	if workers == 1 {
+		s.detector = trw.NewDetector(trwCfg, s.onDetectorEvent)
+	} else {
+		s.sharded = trw.NewShardedDetector(trwCfg, workers, s.onDetectorEvent)
+	}
 	return s
 }
+
+// Workers returns the detection worker count (1 = serial).
+func (s *Sampler) Workers() int { return s.workers }
 
 func (s *Sampler) onDetectorEvent(e trw.Event) {
 	switch e.Kind {
@@ -89,21 +114,46 @@ func (s *Sampler) onDetectorEvent(e trw.Event) {
 // then runs the detector's hourly sweep, exactly like the paper's loop
 // over newly published pcap hours.
 func (s *Sampler) ProcessHour(pkts []packet.Packet, hourEnd time.Time) {
-	for i := range pkts {
-		s.detector.Process(&pkts[i])
+	if s.sharded != nil {
+		s.sharded.ProcessBatch(pkts)
+		s.sharded.EndHour(hourEnd)
+	} else {
+		for i := range pkts {
+			s.detector.Process(&pkts[i])
+		}
+		s.detector.EndHour(hourEnd)
 	}
-	s.detector.EndHour(hourEnd)
 	s.hoursProcessed++
 	s.packetsTotal += int64(len(pkts))
 }
 
-// Flush ends all live flows (end of a simulation run).
+// Flush ends all live flows (end of a simulation run). On the sharded
+// path it also stops the shard goroutines: the sampler accepts no further
+// hours after Flush, but stats remain readable.
 func (s *Sampler) Flush(now time.Time) {
+	if s.sharded != nil {
+		s.sharded.Flush(now)
+		s.sharded.Close()
+		return
+	}
 	s.detector.Flush(now)
 }
 
+// Close stops the shard goroutines without flushing (abandoning a run
+// early). Idempotent; a no-op on the serial path or after Flush.
+func (s *Sampler) Close() {
+	if s.sharded != nil {
+		s.sharded.Close()
+	}
+}
+
 // DetectorStats exposes the underlying detector counters.
-func (s *Sampler) DetectorStats() trw.Stats { return s.detector.Stats() }
+func (s *Sampler) DetectorStats() trw.Stats {
+	if s.sharded != nil {
+		return s.sharded.Stats()
+	}
+	return s.detector.Stats()
+}
 
 // OrganizerStats exposes (accepted, dropped) counters.
 func (s *Sampler) OrganizerStats() (accepted, dropped int64) { return s.org.Stats() }

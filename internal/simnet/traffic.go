@@ -3,7 +3,11 @@ package simnet
 import (
 	"math"
 	"math/rand"
+	"runtime"
+	"slices"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"exiot/internal/device"
@@ -12,14 +16,135 @@ import (
 
 // GenerateHour produces every telescope-observed packet with a timestamp
 // in [hour, hour+1h), sorted by time. Generation is deterministic per
-// (world, hour).
+// (world, hour) and independent of the worker count: the canonical order
+// is (timestamp, host index), so the serial sort and the parallel merge
+// produce byte-identical streams. Uses Config.Workers workers
+// (0 = GOMAXPROCS).
 func (w *World) GenerateHour(hour time.Time) []packet.Packet {
+	return w.GenerateHourWorkers(hour, w.cfg.Workers)
+}
+
+// GenerateHourWorkers is GenerateHour with an explicit worker count.
+// workers <= 0 selects GOMAXPROCS; workers == 1 runs the legacy serial
+// path. Each host's rng is seeded from (host seed, hour) alone, so the
+// per-host streams are identical no matter which worker generates them.
+func (w *World) GenerateHourWorkers(hour time.Time, workers int) []packet.Packet {
 	hourEnd := hour.Add(time.Hour)
-	var out []packet.Packet
-	for _, h := range w.hosts {
-		out = w.generateHost(out, h, hour, hourEnd)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Timestamp.Before(out[j].Timestamp) })
+	if workers > len(w.hosts) {
+		workers = len(w.hosts)
+	}
+	if workers <= 1 {
+		// Serial path: concatenate per-host streams (already time-ordered)
+		// in host order, then stable-sort by timestamp. Stability makes
+		// cross-host timestamp ties resolve by host index — the canonical
+		// order the parallel merge reproduces.
+		var out []packet.Packet
+		for _, h := range w.hosts {
+			out = w.generateHost(out, h, hour, hourEnd)
+		}
+		sort.SliceStable(out, func(i, j int) bool { return out[i].Timestamp.Before(out[j].Timestamp) })
+		return out
+	}
+
+	// Parallel path: generate per-host sorted runs on a worker pool, then
+	// k-way merge them keyed by (timestamp, host index).
+	runs := make([][]packet.Packet, len(w.hosts))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				hi := int(next.Add(1)) - 1
+				if hi >= len(w.hosts) {
+					return
+				}
+				runs[hi] = w.generateHost(nil, w.hosts[hi], hour, hourEnd)
+			}
+		}()
+	}
+	wg.Wait()
+	return mergeRuns(runs)
+}
+
+// mergeRuns k-way merges per-host time-sorted runs into one stream
+// ordered by (timestamp, run index) — identical to a stable sort of the
+// runs' concatenation.
+func mergeRuns(runs [][]packet.Packet) []packet.Packet {
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	if total == 0 {
+		return nil
+	}
+
+	// Min-heap of run heads, keyed (timestamp, run index).
+	type head struct {
+		ts  int64
+		run int
+	}
+	less := func(a, b head) bool {
+		if a.ts != b.ts {
+			return a.ts < b.ts
+		}
+		return a.run < b.run
+	}
+	heap := make([]head, 0, len(runs))
+	push := func(h head) {
+		heap = append(heap, h)
+		for i := len(heap) - 1; i > 0; {
+			parent := (i - 1) / 2
+			if !less(heap[i], heap[parent]) {
+				break
+			}
+			heap[i], heap[parent] = heap[parent], heap[i]
+			i = parent
+		}
+	}
+	fixDown := func() {
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			smallest := i
+			if l < len(heap) && less(heap[l], heap[smallest]) {
+				smallest = l
+			}
+			if r < len(heap) && less(heap[r], heap[smallest]) {
+				smallest = r
+			}
+			if smallest == i {
+				return
+			}
+			heap[i], heap[smallest] = heap[smallest], heap[i]
+			i = smallest
+		}
+	}
+
+	pos := make([]int, len(runs))
+	for ri, r := range runs {
+		if len(r) > 0 {
+			push(head{ts: r[0].Timestamp.UnixNano(), run: ri})
+		}
+	}
+	out := make([]packet.Packet, 0, total)
+	for len(heap) > 0 {
+		h := heap[0]
+		r := runs[h.run]
+		out = append(out, r[pos[h.run]])
+		pos[h.run]++
+		if pos[h.run] < len(r) {
+			heap[0] = head{ts: r[pos[h.run]].Timestamp.UnixNano(), run: h.run}
+		} else {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+		}
+		fixDown()
+	}
 	return out
 }
 
@@ -59,6 +184,15 @@ func (w *World) generateSession(out []packet.Packet, h *Host, rng *rand.Rand, st
 		return out
 	}
 	meanGap := 1.0 / observedRate
+
+	// Preallocate for the expected packet count (rate × duration, capped
+	// by the per-host-hour budget) instead of growing through repeated
+	// append doublings.
+	expected := int(observedRate*end.Sub(start).Seconds()) + 1
+	if expected > w.cfg.MaxPacketsPerHostHour {
+		expected = w.cfg.MaxPacketsPerHostHour
+	}
+	out = slices.Grow(out, expected)
 
 	gen := newPacketGen(w, h, rng)
 	t := start

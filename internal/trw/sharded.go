@@ -1,0 +1,380 @@
+package trw
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"exiot/internal/mbuf"
+	"exiot/internal/packet"
+)
+
+const (
+	// shardBatchSize is how many packets the coordinator groups before
+	// handing them to a shard. Batching amortizes queue synchronization
+	// over hundreds of packets, keeping the per-packet routing cost to a
+	// hash and an append.
+	shardBatchSize = 512
+	// shardQueueDepth bounds the per-shard batch queue. A full queue
+	// blocks the coordinator (back-pressure), so a slow shard cannot be
+	// buried under an unbounded backlog.
+	shardQueueDepth = 8
+	// maxShards is a sanity cap on the shard count.
+	maxShards = 256
+)
+
+// ShardedDetector runs TRW detection across multiple Detector shards,
+// partitioning sources by a hash of their address so that every packet of
+// a given source is processed by exactly one shard, in arrival order. The
+// TRW walk is purely per-source state, which makes the partition exact:
+// each shard is byte-for-byte the serial detector restricted to its slice
+// of the source space.
+//
+// Events are buffered shard-locally and merged into a single
+// deterministic stream at the EndHour/Flush barriers: flow events replay
+// in the order the packets that triggered them appeared in the global
+// stream (timestamp order, with the ingest position breaking ties),
+// hourly-sweep events are ordered by source IP, and per-second reports
+// are summed across shards per second. The merged stream is identical to
+// what one serial Detector fed the same packets would emit, so everything
+// downstream of the emit callback stays single-threaded and unchanged.
+//
+// The coordinator methods (ProcessBatch, EndHour, Flush, Stats, Close)
+// must be called from a single goroutine, like the serial Detector's.
+type ShardedDetector struct {
+	emit   func(Event)
+	shards []*shard
+	wg     sync.WaitGroup
+
+	// Global-stream bookkeeping, mirroring the serial detector's
+	// per-second clock so merged reports surface for exactly the seconds
+	// a serial run would have emitted.
+	nextIdx   int64
+	lastTs    time.Time
+	curSecond time.Time
+	marks     []reportMark
+
+	closed bool
+}
+
+// reportMark records that the serial detector would have emitted the
+// report for second `second` just before processing packet `trigger`.
+type reportMark struct {
+	second  time.Time
+	trigger int64
+}
+
+// taggedEvent is a shard-local event paired with the global index of the
+// packet that triggered it (math.MaxInt64 for hourly-sweep events).
+type taggedEvent struct {
+	trigger int64
+	ev      Event
+}
+
+// shardPkt routes one packet to a shard together with its global ingest
+// position.
+type shardPkt struct {
+	p   *packet.Packet
+	idx int64
+}
+
+type opKind int
+
+const (
+	opProcess opKind = iota + 1
+	opAdvance
+	opEndHour
+	opFlush
+	opBarrier
+)
+
+// shardOp is one unit of work on a shard's queue.
+type shardOp struct {
+	kind opKind
+	pkts []shardPkt    // opProcess
+	ts   time.Time     // opAdvance / opEndHour / opFlush
+	done chan struct{} // opBarrier
+}
+
+// shard owns one Detector plus the event buffers it fills between
+// barriers. The buffers are written only by the shard goroutine and read
+// by the coordinator only after a barrier, so the queue's happens-before
+// edges are the only synchronization needed.
+type shard struct {
+	det     *Detector
+	in      *mbuf.Buffer[shardOp]
+	events  []taggedEvent
+	reports []SecondReport
+	curIdx  int64
+	sweep   bool
+}
+
+func (s *shard) collect(e Event) {
+	if e.Kind == EventSecondReport {
+		s.reports = append(s.reports, *e.Report)
+		return
+	}
+	trig := s.curIdx
+	if s.sweep {
+		trig = math.MaxInt64
+	}
+	s.events = append(s.events, taggedEvent{trigger: trig, ev: e})
+}
+
+func (s *shard) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		op, ok := s.in.Pop()
+		if !ok {
+			return
+		}
+		switch op.kind {
+		case opProcess:
+			for _, sp := range op.pkts {
+				s.curIdx = sp.idx
+				s.det.Process(sp.p)
+			}
+		case opAdvance:
+			s.det.AdvanceClock(op.ts)
+		case opEndHour:
+			s.sweep = true
+			s.det.EndHour(op.ts)
+			s.sweep = false
+		case opFlush:
+			s.sweep = true
+			s.det.Flush(op.ts)
+			s.sweep = false
+		case opBarrier:
+			op.done <- struct{}{}
+		}
+	}
+}
+
+// NewShardedDetector creates a detector with the given number of shards
+// delivering merged events to emit. workers <= 0 selects GOMAXPROCS.
+func NewShardedDetector(cfg Config, workers int, emit func(Event)) *ShardedDetector {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > maxShards {
+		workers = maxShards
+	}
+	d := &ShardedDetector{emit: emit, shards: make([]*shard, workers)}
+	for i := range d.shards {
+		s := &shard{in: mbuf.New[shardOp](shardQueueDepth)}
+		s.det = NewDetector(cfg, s.collect)
+		d.shards[i] = s
+		d.wg.Add(1)
+		go s.run(&d.wg)
+	}
+	return d
+}
+
+// NumShards returns the shard count.
+func (d *ShardedDetector) NumShards() int { return len(d.shards) }
+
+// shardIndex spreads the 32-bit source address over n shards with a
+// Fibonacci multiplicative hash, so adjacent addresses (a scanning /24,
+// say) do not pile onto one shard.
+func shardIndex(ip packet.IP, n int) int {
+	h := uint64(uint32(ip)) * 0x9E3779B97F4A7C15
+	return int((h >> 32) % uint64(n))
+}
+
+// ProcessBatch routes a slice of telescope packets (non-decreasing
+// timestamps, continuing the stream of previous calls) to the shards.
+// Triggered events are buffered and surface at the next EndHour or Flush
+// barrier.
+func (d *ShardedDetector) ProcessBatch(pkts []packet.Packet) {
+	if len(pkts) == 0 || d.closed {
+		return
+	}
+	n := len(d.shards)
+	batches := make([][]shardPkt, n)
+	for i := range pkts {
+		p := &pkts[i]
+		// Replicate the serial tickSecond schedule: the report for second
+		// S is due just before the first packet whose second exceeds S.
+		sec := p.Timestamp.Truncate(time.Second)
+		if d.curSecond.IsZero() {
+			d.curSecond = sec
+		} else {
+			for d.curSecond.Before(sec) {
+				d.marks = append(d.marks, reportMark{second: d.curSecond, trigger: d.nextIdx})
+				d.curSecond = d.curSecond.Add(time.Second)
+			}
+		}
+		si := shardIndex(p.SrcIP, n)
+		if batches[si] == nil {
+			batches[si] = make([]shardPkt, 0, shardBatchSize)
+		}
+		batches[si] = append(batches[si], shardPkt{p: p, idx: d.nextIdx})
+		d.nextIdx++
+		if len(batches[si]) == shardBatchSize {
+			d.shards[si].in.Push(shardOp{kind: opProcess, pkts: batches[si]})
+			batches[si] = nil
+		}
+	}
+	d.lastTs = pkts[len(pkts)-1].Timestamp
+	for si, b := range batches {
+		if len(b) > 0 {
+			d.shards[si].in.Push(shardOp{kind: opProcess, pkts: b})
+		}
+	}
+}
+
+// EndHour drains the shards, runs the hourly sweep on each, and delivers
+// the merged event stream for everything since the previous barrier.
+func (d *ShardedDetector) EndHour(now time.Time) {
+	if d.closed {
+		return
+	}
+	for _, s := range d.shards {
+		if !d.lastTs.IsZero() {
+			s.in.Push(shardOp{kind: opAdvance, ts: d.lastTs})
+		}
+		s.in.Push(shardOp{kind: opEndHour, ts: now})
+	}
+	d.barrier()
+	d.deliver(false)
+}
+
+// Flush delivers the pending per-second report, ends every live scan
+// flow, and emits the merged stream. Call once at end of input.
+func (d *ShardedDetector) Flush(now time.Time) {
+	if d.closed {
+		return
+	}
+	for _, s := range d.shards {
+		if !d.lastTs.IsZero() {
+			s.in.Push(shardOp{kind: opAdvance, ts: d.lastTs})
+		}
+		s.in.Push(shardOp{kind: opFlush, ts: now})
+	}
+	d.barrier()
+	d.deliver(true)
+}
+
+// barrier waits until every shard has executed all queued work.
+func (d *ShardedDetector) barrier() {
+	done := make(chan struct{}, len(d.shards))
+	for _, s := range d.shards {
+		s.in.Push(shardOp{kind: opBarrier, done: done})
+	}
+	for range d.shards {
+		<-done
+	}
+}
+
+// deliver merges the shard-local buffers into one deterministic stream
+// and hands it to emit on the caller's goroutine. Must run right after a
+// barrier (shards idle).
+func (d *ShardedDetector) deliver(flush bool) {
+	// Per-second reports: sum the shard-local reports for each second.
+	agg := make(map[int64]*SecondReport)
+	for _, s := range d.shards {
+		for i := range s.reports {
+			r := &s.reports[i]
+			key := r.Second.UnixNano()
+			dst, ok := agg[key]
+			if !ok {
+				dst = &SecondReport{Second: r.Second}
+				agg[key] = dst
+			}
+			addReport(dst, r)
+		}
+		s.reports = s.reports[:0]
+	}
+
+	// Flow events: replay in global trigger order; sweep events (equal
+	// MaxInt64 triggers) order by source IP, matching the serial sweep.
+	var evs []taggedEvent
+	for _, s := range d.shards {
+		evs = append(evs, s.events...)
+		s.events = s.events[:0]
+	}
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].trigger != evs[j].trigger {
+			return evs[i].trigger < evs[j].trigger
+		}
+		return evs[i].ev.IP < evs[j].ev.IP
+	})
+
+	marks := d.marks
+	d.marks = nil
+	if flush && !d.curSecond.IsZero() {
+		// The serial Flush emits the in-flight report before the final
+		// sweep; all shards were clock-aligned, so their pending reports
+		// aggregate under the current second.
+		marks = append(marks, reportMark{second: d.curSecond, trigger: math.MaxInt64})
+	}
+
+	// Interleave: the report for a second is due before the packet that
+	// crossed it, so at an equal trigger reports go first.
+	ei := 0
+	for _, m := range marks {
+		for ei < len(evs) && evs[ei].trigger < m.trigger {
+			d.emit(evs[ei].ev)
+			ei++
+		}
+		rep := agg[m.second.UnixNano()]
+		if rep == nil {
+			rep = &SecondReport{Second: m.second}
+		}
+		d.emit(Event{Kind: EventSecondReport, Report: rep})
+	}
+	for ; ei < len(evs); ei++ {
+		d.emit(evs[ei].ev)
+	}
+}
+
+// addReport folds src into dst (same second).
+func addReport(dst, src *SecondReport) {
+	dst.Total += src.Total
+	dst.TCP += src.TCP
+	dst.UDP += src.UDP
+	dst.ICMP += src.ICMP
+	dst.Backscatter += src.Backscatter
+	dst.NewScanFlows += src.NewScanFlows
+	if len(src.PortPackets) > 0 {
+		if dst.PortPackets == nil {
+			dst.PortPackets = make(map[uint16]int, len(src.PortPackets))
+		}
+		for port, n := range src.PortPackets {
+			dst.PortPackets[port] += n
+		}
+	}
+}
+
+// Stats returns lifetime counters aggregated across shards.
+func (d *ShardedDetector) Stats() Stats {
+	if !d.closed {
+		d.barrier()
+	}
+	var out Stats
+	for _, s := range d.shards {
+		st := s.det.Stats()
+		out.Processed += st.Processed
+		out.Backscatter += st.Backscatter
+		out.ScannersFound += st.ScannersFound
+		out.SamplesEmitted += st.SamplesEmitted
+		out.FlowsEnded += st.FlowsEnded
+		out.ActiveSources += st.ActiveSources
+	}
+	return out
+}
+
+// Close stops the shard goroutines. The detector accepts no work after
+// Close; Stats remains readable. Close is idempotent.
+func (d *ShardedDetector) Close() {
+	if d.closed {
+		return
+	}
+	d.closed = true
+	for _, s := range d.shards {
+		s.in.Close()
+	}
+	d.wg.Wait()
+}

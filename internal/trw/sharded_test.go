@@ -1,0 +1,170 @@
+package trw
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"exiot/internal/packet"
+	"exiot/internal/simnet"
+)
+
+// runSerial replays hours through a serial Detector the way the pipeline
+// does: Process every packet, EndHour at each hour boundary, Flush at the
+// end. Returns the full event stream and final stats.
+func runSerial(cfg Config, hours [][]packet.Packet, bounds []time.Time, flushAt time.Time) ([]Event, Stats) {
+	var events []Event
+	d := NewDetector(cfg, func(e Event) { events = append(events, e) })
+	for hi := range hours {
+		for i := range hours[hi] {
+			d.Process(&hours[hi][i])
+		}
+		d.EndHour(bounds[hi])
+	}
+	d.Flush(flushAt)
+	return events, d.Stats()
+}
+
+// runSharded replays the same hours through a ShardedDetector.
+func runSharded(cfg Config, workers int, hours [][]packet.Packet, bounds []time.Time, flushAt time.Time) ([]Event, Stats) {
+	var events []Event
+	d := NewShardedDetector(cfg, workers, func(e Event) { events = append(events, e) })
+	defer d.Close()
+	for hi := range hours {
+		d.ProcessBatch(hours[hi])
+		d.EndHour(bounds[hi])
+	}
+	d.Flush(flushAt)
+	return events, d.Stats()
+}
+
+// simHours generates telescope traffic for n hours of a deterministic
+// simulated world.
+func simHours(seed int64, n int) ([][]packet.Packet, []time.Time) {
+	cfg := simnet.DefaultConfig(seed)
+	cfg.NumInfected = 80
+	cfg.NumNonIoT = 20
+	cfg.NumResearch = 3
+	cfg.NumMisconfig = 15
+	cfg.NumBackscat = 6
+	cfg.MaxPacketsPerHostHour = 600
+	w := simnet.NewWorld(cfg)
+	hours := make([][]packet.Packet, n)
+	bounds := make([]time.Time, n)
+	for i := 0; i < n; i++ {
+		hour := cfg.Start.Add(time.Duration(i) * time.Hour)
+		hours[i] = w.GenerateHour(hour)
+		bounds[i] = hour.Add(time.Hour)
+	}
+	return hours, bounds
+}
+
+// TestShardedMatchesSerialSimnet is the core equivalence property: for
+// realistic telescope traffic, the sharded detector's merged event stream
+// is identical — event by event, in order — to the serial detector's,
+// regardless of shard count.
+func TestShardedMatchesSerialSimnet(t *testing.T) {
+	hours, bounds := simHours(7, 4)
+	var total int
+	for _, h := range hours {
+		total += len(h)
+	}
+	if total == 0 {
+		t.Fatal("simnet generated no packets")
+	}
+	flushAt := bounds[len(bounds)-1]
+
+	wantEvents, wantStats := runSerial(Config{}, hours, bounds, flushAt)
+	if len(wantEvents) == 0 {
+		t.Fatal("serial detector emitted no events")
+	}
+
+	for _, workers := range []int{1, 3, 8} {
+		gotEvents, gotStats := runSharded(Config{}, workers, hours, bounds, flushAt)
+		if len(gotEvents) != len(wantEvents) {
+			t.Fatalf("workers=%d: got %d events, want %d", workers, len(gotEvents), len(wantEvents))
+		}
+		for i := range wantEvents {
+			if !reflect.DeepEqual(gotEvents[i], wantEvents[i]) {
+				t.Fatalf("workers=%d: event %d differs:\n got  %+v\n want %+v",
+					workers, i, gotEvents[i], wantEvents[i])
+			}
+		}
+		if gotStats != wantStats {
+			t.Errorf("workers=%d: stats = %+v, want %+v", workers, gotStats, wantStats)
+		}
+	}
+}
+
+// TestShardedMatchesSerialSynthetic checks the merge on a hand-built
+// stream with cross-source timestamp ties, sources that expire mid-run,
+// and a shard that goes quiet before the end of the hour (exercising the
+// AdvanceClock alignment).
+func TestShardedMatchesSerialSynthetic(t *testing.T) {
+	cfg := Config{DetectionThreshold: 10, SampleSize: 5, MinDuration: -1}
+	srcs := []packet.IP{
+		packet.MustParseIP("203.0.113.9"),
+		packet.MustParseIP("198.51.100.4"),
+		packet.MustParseIP("192.0.2.77"),
+		packet.MustParseIP("203.0.113.10"),
+	}
+	var pkts []packet.Packet
+	for i := 0; i < 40; i++ {
+		ts := t0.Add(time.Duration(i) * 700 * time.Millisecond)
+		for si, src := range srcs {
+			// The last source goes quiet halfway through: its shard's
+			// report clock lags and must be advanced at the barrier.
+			if si == 3 && i >= 20 {
+				continue
+			}
+			// Identical timestamps across sources exercise tie-breaking.
+			pkts = append(pkts, synPacket(src, ts, 23))
+		}
+	}
+	hours := [][]packet.Packet{pkts}
+	bounds := []time.Time{t0.Add(time.Hour)}
+	flushAt := bounds[0].Add(time.Hour)
+
+	wantEvents, wantStats := runSerial(cfg, hours, bounds, flushAt)
+	for _, workers := range []int{2, 4, 16} {
+		gotEvents, gotStats := runSharded(cfg, workers, hours, bounds, flushAt)
+		if !reflect.DeepEqual(gotEvents, wantEvents) {
+			t.Fatalf("workers=%d: event streams differ (got %d, want %d events)",
+				workers, len(gotEvents), len(wantEvents))
+		}
+		if gotStats != wantStats {
+			t.Errorf("workers=%d: stats = %+v, want %+v", workers, gotStats, wantStats)
+		}
+	}
+}
+
+// TestShardedEmpty checks lifecycle calls with no input.
+func TestShardedEmpty(t *testing.T) {
+	var events []Event
+	d := NewShardedDetector(Config{}, 4, func(e Event) { events = append(events, e) })
+	d.ProcessBatch(nil)
+	d.EndHour(t0)
+	d.Flush(t0.Add(time.Hour))
+	if st := d.Stats(); st.Processed != 0 {
+		t.Errorf("Processed = %d, want 0", st.Processed)
+	}
+	d.Close()
+	d.Close() // idempotent
+	if len(events) != 0 {
+		t.Errorf("got %d events from empty input, want 0", len(events))
+	}
+}
+
+// TestShardedDefaultsToGOMAXPROCS checks worker-count defaulting.
+func TestShardedDefaultsToGOMAXPROCS(t *testing.T) {
+	d := NewShardedDetector(Config{}, 0, func(Event) {})
+	defer d.Close()
+	if d.NumShards() < 1 {
+		t.Fatalf("NumShards = %d, want >= 1", d.NumShards())
+	}
+	d2 := NewShardedDetector(Config{}, 100000, func(Event) {})
+	defer d2.Close()
+	if d2.NumShards() != 256 {
+		t.Fatalf("NumShards = %d, want capped at 256", d2.NumShards())
+	}
+}

@@ -17,6 +17,7 @@
 package trw
 
 import (
+	"sort"
 	"time"
 
 	"exiot/internal/packet"
@@ -269,12 +270,20 @@ func (d *Detector) tickSecond(ts time.Time) {
 
 // EndHour runs the hourly sweep the paper performs before processing a new
 // hour: scan flows idle longer than FlowEndGap are declared ended (with an
-// EventFlowEnd), and stale non-scanner state is dropped.
+// EventFlowEnd), and stale non-scanner state is dropped. Ended flows are
+// swept in ascending source-IP order so the emitted event sequence is
+// deterministic (and so a sharded detector can merge its per-shard sweeps
+// into the same stream).
 func (d *Detector) EndHour(now time.Time) {
+	var ended []packet.IP
 	for ip, st := range d.state {
-		if now.Sub(st.last) < d.cfg.FlowEndGap {
-			continue
+		if now.Sub(st.last) >= d.cfg.FlowEndGap {
+			ended = append(ended, ip)
 		}
+	}
+	sort.Slice(ended, func(i, j int) bool { return ended[i] < ended[j] })
+	for _, ip := range ended {
+		st := d.state[ip]
 		if st.isScanner {
 			// A flow still mid-sample when it dies is emitted short: the
 			// organizer decides whether enough packets were collected.
@@ -299,6 +308,16 @@ func (d *Detector) EndHour(now time.Time) {
 		}
 		delete(d.state, ip)
 	}
+}
+
+// AdvanceClock advances the per-second report clock to ts without
+// consuming a packet, emitting reports for every second completed before
+// ts. The sharded detector uses it to keep shard-local report clocks
+// aligned with the global packet stream: a shard that saw no packets near
+// the end of an hour still flushes the seconds the whole telescope has
+// moved past.
+func (d *Detector) AdvanceClock(ts time.Time) {
+	d.tickSecond(ts)
 }
 
 // Flush emits the pending per-second report and any in-flight short

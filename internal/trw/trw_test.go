@@ -301,3 +301,54 @@ func TestLowThresholdAblation(t *testing.T) {
 		t.Error("lower threshold should detect earlier")
 	}
 }
+
+func TestConfigWithDefaultsMinDuration(t *testing.T) {
+	// Zero promotes to the paper's 1-minute floor.
+	if got := (Config{}).withDefaults().MinDuration; got != time.Minute {
+		t.Errorf("zero MinDuration promoted to %v, want 1m", got)
+	}
+	// Negative is the explicit ablation switch: the floor is disabled.
+	if got := (Config{MinDuration: -1}).withDefaults().MinDuration; got != 0 {
+		t.Errorf("negative MinDuration = %v, want 0 (floor disabled)", got)
+	}
+	// A positive value is kept as-is.
+	if got := (Config{MinDuration: 5 * time.Second}).withDefaults().MinDuration; got != 5*time.Second {
+		t.Errorf("explicit MinDuration = %v, want 5s", got)
+	}
+}
+
+func TestConfigWithDefaultsZeroPromotion(t *testing.T) {
+	d := Default()
+	cases := []struct {
+		name string
+		in   Config
+		want Config
+	}{
+		{"all-zero", Config{}, d},
+		{"negative-threshold", Config{DetectionThreshold: -5}, d},
+		{"negative-gaps", Config{ExpiryGap: -time.Second, FlowEndGap: -time.Hour}, d},
+		{"partial", Config{SampleSize: 10, ExpiryGap: time.Minute},
+			Config{DetectionThreshold: d.DetectionThreshold, SampleSize: 10,
+				ExpiryGap: time.Minute, MinDuration: d.MinDuration, FlowEndGap: d.FlowEndGap}},
+	}
+	for _, c := range cases {
+		if got := c.in.withDefaults(); got != c.want {
+			t.Errorf("%s: withDefaults() = %+v, want %+v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestMinDurationAblationDetectsFastBursts(t *testing.T) {
+	// A misconfiguration burst: 150 packets in under a second. The
+	// duration floor suppresses detection; the ablation catches it.
+	src := packet.MustParseIP("203.0.113.31")
+	pkts := steadyStream(src, t0, 150, 5*time.Millisecond)
+	withFloor, _ := collect(Default(), pkts)
+	ablated, _ := collect(Config{MinDuration: -1}, pkts)
+	if n := len(eventsOf(withFloor, EventScannerDetected)); n != 0 {
+		t.Errorf("duration floor: %d detections on a sub-minute burst, want 0", n)
+	}
+	if n := len(eventsOf(ablated, EventScannerDetected)); n != 1 {
+		t.Errorf("ablation: %d detections, want 1", n)
+	}
+}

@@ -1,21 +1,23 @@
 package zmap
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"exiot/internal/packet"
 	"exiot/internal/simnet"
 )
 
-// fakeProber is a deterministic in-test Internet.
+// fakeProber is a deterministic in-test Internet. ScanBatch probes from
+// multiple workers, so the query counter is atomic.
 type fakeProber struct {
 	open    map[packet.IP]map[uint16]string // ip -> port -> banner
 	proto   string
-	queries int
+	queries atomic.Int64
 }
 
 func (f *fakeProber) ProbePort(ip packet.IP, port uint16) bool {
-	f.queries++
+	f.queries.Add(1)
 	_, ok := f.open[ip][port]
 	return ok
 }
@@ -121,6 +123,33 @@ func TestScanBatchEmpty(t *testing.T) {
 	}
 }
 
+// TestScanBatchMoreWorkersThanIPs checks the pool clamps workers to the
+// batch size: batches smaller than GOMAXPROCS still scan every host
+// exactly once, in order.
+func TestScanBatchMoreWorkersThanIPs(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		ips := make([]packet.IP, n)
+		open := map[packet.IP]map[uint16]string{}
+		for i := range ips {
+			ips[i] = packet.IP(0xC0000210 + uint32(i))
+			open[ips[i]] = map[uint16]string{80: "banner"}
+		}
+		f := &fakeProber{open: open, proto: "http"}
+		out := NewScanner(f).ScanBatch(ips)
+		if len(out) != n {
+			t.Fatalf("n=%d: got %d results", n, len(out))
+		}
+		for i := range out {
+			if out[i].IP != ips[i] {
+				t.Errorf("n=%d: result %d is %v, want %v", n, i, out[i].IP, ips[i])
+			}
+			if len(out[i].OpenPorts) == 0 {
+				t.Errorf("n=%d: host %d found no open ports", n, i)
+			}
+		}
+	}
+}
+
 func TestCustomPorts(t *testing.T) {
 	ip := packet.MustParseIP("203.0.113.52")
 	f := &fakeProber{
@@ -132,8 +161,8 @@ func TestCustomPorts(t *testing.T) {
 	if len(res.OpenPorts) != 1 || res.OpenPorts[0] != 23 {
 		t.Errorf("custom-port scan = %+v", res)
 	}
-	if f.queries != 1 {
-		t.Errorf("probed %d ports, want 1", f.queries)
+	if n := f.queries.Load(); n != 1 {
+		t.Errorf("probed %d ports, want 1", n)
 	}
 }
 
