@@ -28,6 +28,7 @@ import (
 	"exiot/internal/notify"
 	"exiot/internal/pipeline"
 	"exiot/internal/simnet"
+	"exiot/internal/telemetry"
 	"exiot/internal/wire"
 )
 
@@ -48,16 +49,30 @@ func main() {
 		whois     = flag.Bool("notify-whois", false, "send WHOIS abuse-contact notifications")
 		modelDir  = flag.String("models", "", "model archive directory (archive daily models; restore latest on start)")
 		workers   = flag.Int("workers", 0, "ingest workers for generation and detection (0 = GOMAXPROCS, 1 = serial)")
+		telAddr   = flag.String("telemetry-addr", "", "operator telemetry listen address (/metrics, /healthz, /debug/pprof); empty disables")
 	)
 	flag.Parse()
 	if err := run(*listen, *apiAddr, *apiKey, *simulate, *hours, *seed,
-		*infected, *nonIoT, *research, *misconfig, *backscat, *whois, *modelDir, *workers); err != nil {
+		*infected, *nonIoT, *research, *misconfig, *backscat, *whois, *modelDir, *workers, *telAddr); err != nil {
 		log.Fatal(err)
 	}
 }
 
 func run(listen, apiAddr, apiKey string, simulate bool, hours int, seed int64,
-	infected, nonIoT, research, misconfig, backscat int, whois bool, modelDir string, workers int) error {
+	infected, nonIoT, research, misconfig, backscat int, whois bool, modelDir string, workers int, telAddr string) error {
+	if telAddr != "" {
+		// The operator mux is separate from the public API: it carries
+		// pprof and needs no key. The API's own /metrics and /healthz stay
+		// available either way.
+		mux := telemetry.NewMux(telemetry.Default(), telemetry.DefaultHealth(), true)
+		go func() {
+			if err := http.ListenAndServe(telAddr, mux); err != nil {
+				log.Printf("telemetry listener: %v", err)
+			}
+		}()
+		fmt.Printf("telemetry on http://%s (/metrics, /healthz, /debug/pprof)\n", telAddr)
+	}
+
 	wcfg := simnet.DefaultConfig(seed)
 	wcfg.NumInfected = infected
 	wcfg.NumNonIoT = nonIoT
@@ -90,6 +105,10 @@ func run(listen, apiAddr, apiKey string, simulate bool, hours int, seed int64,
 		fmt.Printf("simulated %d h in %v: %d records, %d banner labels, %d retrains, %d emails\n",
 			hours, time.Since(start).Round(time.Millisecond),
 			c.RecordsCreated, c.BannersLabeled, c.ModelRetrains, c.EmailsSent)
+		fmt.Print(telemetry.Default().StageSummary())
+		// The batch run is over; the process now serves a static feed.
+		// Freeze health so /healthz reports idle instead of stalled.
+		telemetry.DefaultHealth().Freeze()
 		source = local.Server()
 	} else {
 		server := pipeline.NewServer(pcfg.Server, w, w.Registry(), mailer)

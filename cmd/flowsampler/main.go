@@ -21,6 +21,7 @@ import (
 	"exiot/internal/packet"
 	"exiot/internal/pcapio"
 	"exiot/internal/pipeline"
+	"exiot/internal/telemetry"
 	"exiot/internal/trw"
 	"exiot/internal/wire"
 )
@@ -105,6 +106,9 @@ func run(in, connect string, follow bool, pollEvery time.Duration, threshold, sa
 	sampler.Flush(last.Add(time.Hour))
 	if sendErr != nil {
 		return fmt.Errorf("ship events: %w", sendErr)
+	}
+	if summary := telemetry.Default().StageSummary(); summary != "" {
+		fmt.Print(summary)
 	}
 	return nil
 }

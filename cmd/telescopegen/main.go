@@ -18,6 +18,7 @@ import (
 
 	"exiot/internal/pcapio"
 	"exiot/internal/simnet"
+	"exiot/internal/telemetry"
 )
 
 func main() {
@@ -81,5 +82,8 @@ func run(out string, seed int64, days, hours, infected, nonIoT, research, miscon
 	}
 	fmt.Printf("wrote %d hour(s), %d packets, world: %d infected / %d non-IoT / %d research\n",
 		total, packets, infected, nonIoT, research)
+	if summary := telemetry.Default().StageSummary(); summary != "" {
+		fmt.Print(summary)
+	}
 	return nil
 }

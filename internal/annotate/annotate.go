@@ -18,8 +18,16 @@ import (
 	"exiot/internal/ml"
 	"exiot/internal/organizer"
 	"exiot/internal/recog"
+	"exiot/internal/telemetry"
 	"exiot/internal/zmap"
 )
+
+// Telemetry handles for the classification stage (see
+// docs/OPERATIONS.md): one count per labeled record, split by which
+// authority produced the label — a banner fingerprint rule, the
+// retrained random forest, or neither (bootstrap).
+var metClassified = telemetry.Default().CounterVec("exiot_classify_records_total",
+	"Flows labeled IoT/non-IoT, by label source (banner|model|none).", "source")
 
 // Label sources beyond those in the feed package.
 const (
@@ -87,6 +95,7 @@ func (a *Annotator) Annotate(b *organizer.Batch, scan *zmap.HostResult, match *r
 
 	switch {
 	case match != nil:
+		metClassified.With("banner").Inc()
 		rec.LabelSource = feed.SourceBanner
 		if match.IoT {
 			rec.Label = feed.LabelIoT
@@ -104,6 +113,7 @@ func (a *Annotator) Annotate(b *organizer.Batch, scan *zmap.HostResult, match *r
 		m := a.model
 		a.mu.RUnlock()
 		if m != nil {
+			metClassified.With("model").Inc()
 			score := m.Classifier.PredictProba(m.Normalizer.Apply(raw))
 			rec.Score = score
 			rec.LabelSource = feed.SourceModel
@@ -114,6 +124,7 @@ func (a *Annotator) Annotate(b *organizer.Batch, scan *zmap.HostResult, match *r
 			}
 		} else {
 			// Bootstrap: no model yet; stay conservative.
+			metClassified.With("none").Inc()
 			rec.Label = feed.LabelNonIoT
 			rec.Score = 0.5
 			rec.LabelSource = SourceNone

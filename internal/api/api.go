@@ -17,7 +17,12 @@ import (
 	"exiot/internal/feed"
 	"exiot/internal/notify"
 	"exiot/internal/packet"
+	"exiot/internal/telemetry"
 )
+
+// Telemetry handles for the API layer (see docs/OPERATIONS.md).
+var metAPIRequests = telemetry.Default().CounterVec("exiot_api_requests_total",
+	"API requests served, by endpoint name and HTTP status code.", "endpoint", "code")
 
 // Query filters feed records.
 type Query struct {
@@ -81,31 +86,135 @@ type Server struct {
 	mu   sync.RWMutex
 	keys map[string]string // token → client name
 
+	metrics *telemetry.Registry
+	health  *telemetry.Health
+
 	mux *http.ServeMux
 }
 
+// Endpoint describes one registered API route — the same table NewServer
+// wires into its mux, exposed so docs/API.md can be diffed against the
+// live surface.
+type Endpoint struct {
+	Method string `json:"method"`
+	Path   string `json:"path"`
+	// Name labels the endpoint in exiot_api_requests_total.
+	Name string `json:"name"`
+	// Auth reports whether the route requires an API key.
+	Auth bool `json:"auth"`
+}
+
+// route pairs an Endpoint with its handler.
+type route struct {
+	Endpoint
+	handler http.HandlerFunc
+}
+
+// routes is the single source of truth for the API surface: the mux, the
+// per-endpoint request counter, and Endpoints() all derive from it.
+func (s *Server) routes() []route {
+	ep := func(method, path, name string, auth bool, h http.HandlerFunc) route {
+		return route{Endpoint{Method: method, Path: path, Name: name, Auth: auth}, h}
+	}
+	return []route{
+		ep("GET", "/api/v1/health", "health", false, s.handleHealth),
+		ep("GET", "/metrics", "metrics", false, s.handleMetrics),
+		ep("GET", "/healthz", "healthz", false, s.handleHealthz),
+		ep("GET", "/api/v1/snapshot", "snapshot", true, s.handleSnapshot),
+		ep("GET", "/api/v1/records", "records", true, s.handleRecords),
+		ep("GET", "/api/v1/records/{ip}", "record_by_ip", true, s.handleRecordByIP),
+		ep("GET", "/api/v1/stats/countries", "stats_countries", true, s.statsHandler("countries")),
+		ep("GET", "/api/v1/stats/ports", "stats_ports", true, s.statsHandler("ports")),
+		ep("GET", "/api/v1/stats/vendors", "stats_vendors", true, s.statsHandler("vendors")),
+		ep("GET", "/api/v1/stats/traffic", "stats_traffic", true, s.handleTraffic),
+		ep("POST", "/api/v1/alerts", "alerts", true, s.handleAlerts),
+		ep("GET", "/api/v1/campaigns", "campaigns", true, s.handleCampaigns),
+		ep("GET", "/api/v1/export", "export", true, s.handleExport),
+		ep("GET", "/{$}", "dashboard", true, s.handleDashboard),
+	}
+}
+
 // NewServer builds the API over a feed source; notifier may be nil to
-// disable alarm registration.
+// disable alarm registration. Every route is wrapped with the request
+// counter; /metrics and /healthz serve the process-wide telemetry.
 func NewServer(source Source, notifier *notify.Notifier) *Server {
 	s := &Server{
 		source:   source,
 		notifier: notifier,
 		keys:     make(map[string]string),
+		metrics:  telemetry.Default(),
+		health:   telemetry.DefaultHealth(),
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /api/v1/health", s.handleHealth)
-	mux.HandleFunc("GET /api/v1/snapshot", s.auth(s.handleSnapshot))
-	mux.HandleFunc("GET /api/v1/records", s.auth(s.handleRecords))
-	mux.HandleFunc("GET /api/v1/records/{ip}", s.auth(s.handleRecordByIP))
-	mux.HandleFunc("GET /api/v1/stats/countries", s.auth(s.statsHandler("countries")))
-	mux.HandleFunc("GET /api/v1/stats/ports", s.auth(s.statsHandler("ports")))
-	mux.HandleFunc("GET /api/v1/stats/vendors", s.auth(s.statsHandler("vendors")))
-	mux.HandleFunc("POST /api/v1/alerts", s.auth(s.handleAlerts))
-	mux.HandleFunc("GET /api/v1/campaigns", s.auth(s.handleCampaigns))
-	mux.HandleFunc("GET /api/v1/stats/traffic", s.auth(s.handleTraffic))
-	s.registerDashboard(mux)
+	for _, rt := range s.routes() {
+		h := rt.handler
+		if rt.Auth {
+			h = s.auth(h)
+		}
+		mux.HandleFunc(rt.Method+" "+rt.Path, s.metered(rt.Name, h))
+	}
 	s.mux = mux
 	return s
+}
+
+// Endpoints returns the API surface in registration order (docs tests).
+func (s *Server) Endpoints() []Endpoint {
+	rts := s.routes()
+	out := make([]Endpoint, len(rts))
+	for i, rt := range rts {
+		out[i] = rt.Endpoint
+	}
+	return out
+}
+
+// SetTelemetry overrides the registry and health tracker behind /metrics
+// and /healthz (tests inject isolated instances; nil keeps the current
+// one).
+func (s *Server) SetTelemetry(reg *telemetry.Registry, h *telemetry.Health) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if reg != nil {
+		s.metrics = reg
+	}
+	if h != nil {
+		s.health = h
+	}
+}
+
+// statusRecorder captures the status code a handler writes so the
+// request counter can label it. Go 1.22's mux has no request-pattern
+// accessor, hence the explicit per-route name in metered.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// metered wraps a handler with the exiot_api_requests_total counter.
+func (s *Server) metered(name string, next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next(sr, r)
+		metAPIRequests.With(name, strconv.Itoa(sr.code)).Inc()
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	reg := s.metrics
+	s.mu.RUnlock()
+	telemetry.MetricsHandler(reg).ServeHTTP(w, r)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	h := s.health
+	s.mu.RUnlock()
+	telemetry.HealthzHandler(h).ServeHTTP(w, r)
 }
 
 var _ http.Handler = (*Server)(nil)

@@ -65,12 +65,6 @@ var dashboardTemplate = template.Must(template.New("dashboard").Parse(`<!DOCTYPE
 </html>
 `))
 
-// registerDashboard adds the HTML hub and the bulk export endpoint.
-func (s *Server) registerDashboard(mux *http.ServeMux) {
-	mux.HandleFunc("GET /{$}", s.auth(s.handleDashboard))
-	mux.HandleFunc("GET /api/v1/export", s.auth(s.handleExport))
-}
-
 func (s *Server) handleDashboard(w http.ResponseWriter, _ *http.Request) {
 	snap := s.source.Snapshot()
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")

@@ -1,0 +1,79 @@
+package api_test
+
+// Docs-drift tests: docs/OPERATIONS.md must list every metric the
+// pipeline registers (and nothing that no longer exists), and
+// docs/API.md must cover every route the server actually wires. The
+// blank imports in metrics_api_test.go pull in every instrumented
+// package, so the default registry holds the full catalogue here.
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"exiot/internal/api"
+	"exiot/internal/telemetry"
+)
+
+func readDoc(t *testing.T, path string) string {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return string(raw)
+}
+
+func TestOperationsDocMatchesMetricCatalogue(t *testing.T) {
+	doc := readDoc(t, "../../docs/OPERATIONS.md")
+
+	// The stage histogram registers lazily on the first span; force it
+	// so the catalogue is complete regardless of test order.
+	telemetry.Default().StageTimer("generate")
+
+	registered := map[string]bool{}
+	for _, m := range telemetry.Default().Metrics() {
+		if !strings.HasPrefix(m.Name, "exiot_") {
+			continue // test-local families from other suites
+		}
+		registered[m.Name] = true
+		if !strings.Contains(doc, "`"+m.Name+"`") {
+			t.Errorf("metric %s (%s) is registered but not documented in docs/OPERATIONS.md", m.Name, m.Type)
+		}
+	}
+	if len(registered) < 20 {
+		t.Fatalf("only %d exiot_ families registered; import side effects missing", len(registered))
+	}
+
+	// Reverse direction: every exiot_-token the doc mentions must still
+	// exist, so removed metrics cannot linger in the docs.
+	for _, tok := range regexp.MustCompile(`exiot_[a-z0-9_]+`).FindAllString(doc, -1) {
+		if !registered[tok] {
+			t.Errorf("docs/OPERATIONS.md mentions %s, which is not a registered metric", tok)
+		}
+	}
+}
+
+func TestAPIDocMatchesRouteTable(t *testing.T) {
+	doc := readDoc(t, "../../docs/API.md")
+
+	eps := api.NewServer(nullSource{}, nil).Endpoints()
+	if len(eps) < 10 {
+		t.Fatalf("route table has only %d endpoints", len(eps))
+	}
+	for _, ep := range eps {
+		if ep.Path == "/{$}" {
+			// The dashboard route; documented as GET /.
+			if !strings.Contains(doc, "dashboard") {
+				t.Error("docs/API.md does not document the dashboard route")
+			}
+		} else if !strings.Contains(doc, "`"+ep.Path+"`") && !strings.Contains(doc, ep.Path+"`") && !strings.Contains(doc, ep.Path+" ") && !strings.Contains(doc, ep.Path+"\n") {
+			t.Errorf("route %s %s is wired but not documented in docs/API.md", ep.Method, ep.Path)
+		}
+		// The metering section must name every endpoint label.
+		if !strings.Contains(doc, "`"+ep.Name+"`") {
+			t.Errorf("endpoint name %q missing from docs/API.md metering section", ep.Name)
+		}
+	}
+}

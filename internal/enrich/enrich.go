@@ -13,7 +13,12 @@ import (
 	"exiot/internal/feed"
 	"exiot/internal/packet"
 	"exiot/internal/registry"
+	"exiot/internal/telemetry"
 )
+
+// Telemetry handles for the enrichment stage (see docs/OPERATIONS.md).
+var metEnrichLookups = telemetry.Default().CounterVec("exiot_enrich_lookups_total",
+	"Registry lookups during record enrichment, by outcome (hit|miss).", "result")
 
 // benignRDNSSuffixes identify legitimate security companies and research
 // institutions (paper: "University of Michigan, Shodan, Censys, Rapid7,
@@ -143,6 +148,7 @@ func New(reg *registry.Registry) *Enricher {
 // statistics, and Benign flag from the source address and sampled flow.
 func (e *Enricher) Annotate(rec *feed.Record, src packet.IP, sample []packet.Packet) {
 	if info, ok := e.reg.Lookup(src); ok {
+		metEnrichLookups.With("hit").Inc()
 		rec.Country = info.Country
 		rec.CountryCode = info.CountryCode
 		rec.Continent = info.Continent
@@ -156,6 +162,8 @@ func (e *Enricher) Annotate(rec *feed.Record, src packet.IP, sample []packet.Pac
 		rec.RDNS = info.RDNS
 		rec.Domain = info.Domain
 		rec.AbuseEmail = info.AbuseEmail
+	} else {
+		metEnrichLookups.With("miss").Inc()
 	}
 	if tool := FingerprintTool(sample); tool != "" {
 		rec.Tool = tool

@@ -14,7 +14,12 @@ import (
 
 	"exiot/internal/feed"
 	"exiot/internal/packet"
+	"exiot/internal/telemetry"
 )
+
+// Telemetry handles for the notification stage (see docs/OPERATIONS.md).
+var metEmails = telemetry.Default().CounterVec("exiot_notify_emails_total",
+	"Notification e-mails delivered, by trigger (subscription|whois).", "trigger")
 
 // Mailer delivers one e-mail.
 type Mailer interface {
@@ -126,6 +131,7 @@ func (n *Notifier) Process(rec *feed.Record, now time.Time) int {
 		}
 		if n.dueAndMark("sub:"+sub.Email+":"+rec.IP, now) {
 			if err := n.mailer.Send(sub.Email, subjectFor(rec), bodyFor(rec)); err == nil {
+				metEmails.With("subscription").Inc()
 				sent++
 			}
 		}
@@ -134,6 +140,7 @@ func (n *Notifier) Process(rec *feed.Record, now time.Time) int {
 	if n.cfg.NotifyWhois && rec.AbuseEmail != "" {
 		if n.dueAndMark("whois:"+rec.AbuseEmail+":"+rec.IP, now) {
 			if err := n.mailer.Send(rec.AbuseEmail, subjectFor(rec), bodyFor(rec)); err == nil {
+				metEmails.With("whois").Inc()
 				sent++
 			}
 		}

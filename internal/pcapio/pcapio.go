@@ -19,6 +19,19 @@ import (
 	"time"
 
 	"exiot/internal/packet"
+	"exiot/internal/telemetry"
+)
+
+// Telemetry handles for the capture-store stage (see docs/OPERATIONS.md).
+var (
+	metPacketsWritten = telemetry.Default().Counter("exiot_pcap_packets_written_total",
+		"Packets written to pcap capture streams.")
+	metPacketsRead = telemetry.Default().Counter("exiot_pcap_packets_read_total",
+		"Packets read from pcap capture streams.")
+	metHoursWritten = telemetry.Default().Counter("exiot_pcap_hours_written_total",
+		"Hourly capture files published (atomic rename completed).")
+	metHoursOpened = telemetry.Default().Counter("exiot_pcap_hours_read_total",
+		"Hourly capture files opened for reading.")
 )
 
 const (
@@ -77,6 +90,7 @@ func (w *Writer) WritePacket(p *packet.Packet) error {
 		return fmt.Errorf("pcap record body: %w", err)
 	}
 	w.count++
+	metPacketsWritten.Inc()
 	return nil
 }
 
@@ -134,6 +148,7 @@ func (r *Reader) Next(p *packet.Packet) error {
 		return err
 	}
 	p.Timestamp = time.Unix(int64(sec), int64(usec)*1000).UTC()
+	metPacketsRead.Inc()
 	return nil
 }
 
@@ -198,6 +213,7 @@ func (hw *HourWriter) Close() error {
 	if err := os.Rename(hw.path+".tmp", hw.path); err != nil {
 		return fmt.Errorf("publish capture: %w", err)
 	}
+	metHoursWritten.Inc()
 	return nil
 }
 
@@ -230,6 +246,7 @@ func OpenFile(path string) (*HourReader, error) {
 		f.Close()
 		return nil, err
 	}
+	metHoursOpened.Inc()
 	return &HourReader{f: f, gz: gz, Reader: r}, nil
 }
 

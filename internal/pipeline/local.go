@@ -6,6 +6,7 @@ import (
 	"exiot/internal/notify"
 	"exiot/internal/packet"
 	"exiot/internal/registry"
+	"exiot/internal/telemetry"
 	"exiot/internal/trw"
 	"exiot/internal/zmap"
 )
@@ -71,6 +72,8 @@ func NewLocal(cfg LocalConfig, prober zmap.Prober, reg *registry.Registry, maile
 // ProcessHour pushes one simulated hour through both halves. The hour's
 // events surface in the feed at hour-end + collection + processing delay.
 func (l *Local) ProcessHour(pkts []packet.Packet, hour time.Time) {
+	span := telemetry.Default().StartSpan("hour")
+	defer span.End()
 	hourEnd := hour.Add(time.Hour)
 	l.availableAt = hourEnd.Add(l.cfg.CollectionDelay).Add(l.cfg.ProcessingDelay)
 	l.sampler.ProcessHour(pkts, hourEnd)

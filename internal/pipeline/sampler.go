@@ -12,8 +12,27 @@ import (
 
 	"exiot/internal/organizer"
 	"exiot/internal/packet"
+	"exiot/internal/telemetry"
 	"exiot/internal/trw"
 )
+
+// Telemetry handles for the sampler half (see docs/OPERATIONS.md).
+var (
+	metSamplerPackets = telemetry.Default().Counter("exiot_sampler_packets_total",
+		"Telescope packets fed through flow detection.")
+	metSamplerHours = telemetry.Default().Counter("exiot_sampler_hours_total",
+		"Capture hours processed by the sampler.")
+	metSamplerEvents = telemetry.Default().CounterVec("exiot_sampler_events_total",
+		"Sampler events emitted downstream, by kind.", "kind")
+	metOrganizerFlows = telemetry.Default().CounterVec("exiot_organizer_flows_total",
+		"Sampled flows at the packet organizer, by outcome.", "result")
+)
+
+// ingestMaxAge is how long the ingest health check tolerates silence
+// before /healthz reports the sampler stalled. Real deployments see an
+// hour of captures every hour; 15 wall-clock minutes of no progress on a
+// follower means the poll loop or the detector is stuck.
+const ingestMaxAge = 15 * time.Minute
 
 // SamplerEventKind discriminates sampler outputs.
 type SamplerEventKind int
@@ -61,6 +80,13 @@ type Sampler struct {
 
 	hoursProcessed int
 	packetsTotal   int64
+
+	// liveness is the ingest health check beaten on every processed hour.
+	liveness *telemetry.Check
+
+	// Cached event-kind counter series (hot path).
+	evBatch, evFlowEnd, evReport *telemetry.Counter
+	accepted, dropped            *telemetry.Counter
 }
 
 // NewSampler builds the CAIDA-side half on the serial (single-worker)
@@ -76,7 +102,17 @@ func NewSamplerWorkers(trwCfg trw.Config, minSamples, workers int, emit func(Sam
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	s := &Sampler{workers: workers, org: organizer.New(), emit: emit}
+	s := &Sampler{
+		workers:   workers,
+		org:       organizer.New(),
+		emit:      emit,
+		liveness:  telemetry.DefaultHealth().Register("ingest", ingestMaxAge),
+		evBatch:   metSamplerEvents.With("batch"),
+		evFlowEnd: metSamplerEvents.With("flow_end"),
+		evReport:  metSamplerEvents.With("report"),
+		accepted:  metOrganizerFlows.With("accepted"),
+		dropped:   metOrganizerFlows.With("dropped"),
+	}
 	if minSamples > 0 {
 		s.org.MinSamples = minSamples
 	}
@@ -95,9 +131,14 @@ func (s *Sampler) onDetectorEvent(e trw.Event) {
 	switch e.Kind {
 	case trw.EventSample:
 		if b, ok := s.org.Organize(e); ok {
+			s.accepted.Inc()
+			s.evBatch.Inc()
 			s.emit(SamplerEvent{Kind: SamplerBatch, Batch: &b})
+		} else {
+			s.dropped.Inc()
 		}
 	case trw.EventFlowEnd:
+		s.evFlowEnd.Inc()
 		s.emit(SamplerEvent{
 			Kind:       SamplerFlowEnd,
 			IP:         e.IP,
@@ -106,6 +147,7 @@ func (s *Sampler) onDetectorEvent(e trw.Event) {
 			LastSeen:   e.LastSeen,
 		})
 	case trw.EventSecondReport:
+		s.evReport.Inc()
 		s.emit(SamplerEvent{Kind: SamplerReport, Report: e.Report})
 	}
 }
@@ -114,6 +156,9 @@ func (s *Sampler) onDetectorEvent(e trw.Event) {
 // then runs the detector's hourly sweep, exactly like the paper's loop
 // over newly published pcap hours.
 func (s *Sampler) ProcessHour(pkts []packet.Packet, hourEnd time.Time) {
+	span := telemetry.Default().StartSpan("detect")
+	defer span.End()
+	defer s.liveness.Beat()
 	if s.sharded != nil {
 		s.sharded.ProcessBatch(pkts)
 		s.sharded.EndHour(hourEnd)
@@ -125,6 +170,8 @@ func (s *Sampler) ProcessHour(pkts []packet.Packet, hourEnd time.Time) {
 	}
 	s.hoursProcessed++
 	s.packetsTotal += int64(len(pkts))
+	metSamplerPackets.Add(int64(len(pkts)))
+	metSamplerHours.Inc()
 }
 
 // Flush ends all live flows (end of a simulation run). On the sharded

@@ -18,9 +18,29 @@ import (
 	"exiot/internal/registry"
 	"exiot/internal/scanmod"
 	"exiot/internal/store"
+	"exiot/internal/telemetry"
 	"exiot/internal/trainer"
 	"exiot/internal/zmap"
 )
+
+// Telemetry handles for the feed stage (see docs/OPERATIONS.md). The
+// "feed" health check goes stale when no sampler event reaches the
+// server for feedMaxAge — the signal an operator sees when the wire or
+// the sampler ahead of it dies.
+var (
+	metFeedRecords = telemetry.Default().Counter("exiot_feed_records_total",
+		"CTI records inserted into the latest + historical databases.")
+	metFeedFlowEnds = telemetry.Default().Counter("exiot_feed_flow_ends_total",
+		"END_FLOW updates applied to existing feed records.")
+	metFeedActive = telemetry.Default().Gauge("exiot_feed_active_records",
+		"Live scan flows currently holding an active feed record.")
+	metFeedLastRecord = telemetry.Default().Gauge("exiot_feed_last_record_unix",
+		"Simulated-clock unix time of the most recent record insert.")
+)
+
+// feedMaxAge bounds how long the feed may go without consuming a
+// sampler event before /healthz reports it stalled.
+const feedMaxAge = 15 * time.Minute
 
 // ServerConfig parameterizes the feed-server half.
 type ServerConfig struct {
@@ -86,6 +106,8 @@ type Server struct {
 	lastAttempt    time.Time
 	counters       Counters
 	lastModel      *trainer.TrainedModel
+
+	liveness *telemetry.Check
 }
 
 type pendingFlow struct {
@@ -115,6 +137,7 @@ func NewServer(cfg ServerConfig, prober zmap.Prober, reg *registry.Registry, mai
 		pendingBatches: make(map[packet.IP]*pendingFlow),
 		pendingEnds:    make(map[packet.IP]SamplerEvent),
 		traffic:        newTrafficStats(),
+		liveness:       telemetry.DefaultHealth().Register("feed", feedMaxAge),
 	}
 	if mailer != nil {
 		s.notifier = notify.New(cfg.Notify, mailer)
@@ -129,6 +152,7 @@ func (s *Server) Notifier() *notify.Notifier { return s.notifier }
 // wall-clock instant the event reached the feed server (hour publish +
 // collection + processing delays).
 func (s *Server) HandleEvent(e SamplerEvent, availableAt time.Time) {
+	s.liveness.Beat()
 	s.mu.Lock()
 	if availableAt.After(s.clock) {
 		s.clock = availableAt
@@ -209,6 +233,9 @@ func (s *Server) emitRecord(b *organizer.Batch, scan *zmap.HostResult, match *re
 	s.counters.RecordsCreated++
 	s.mu.Unlock()
 	s.active.Set(activeKey(rec.IP), string(histID))
+	metFeedRecords.Inc()
+	metFeedLastRecord.Set(float64(appearedAt.Unix()))
+	metFeedActive.Set(float64(s.active.Len()))
 
 	if s.notifier != nil {
 		if sent := s.notifier.Process(&rec, appearedAt); sent > 0 {
@@ -264,6 +291,8 @@ func (s *Server) handleFlowEnd(e SamplerEvent, availableAt time.Time) {
 		s.latest.Delete(latestID)
 	}
 	s.active.Del(activeKey(ipStr))
+	metFeedFlowEnds.Inc()
+	metFeedActive.Set(float64(s.active.Len()))
 	_ = availableAt
 }
 

@@ -1,0 +1,46 @@
+package pipeline
+
+import (
+	"testing"
+
+	"exiot/internal/telemetry"
+)
+
+// counter returns the live handle for an already-registered counter
+// family (registration is idempotent; help is not compared).
+func counter(name string) *telemetry.Counter {
+	return telemetry.Default().Counter(name, "")
+}
+
+// TestTelemetryMatchesDetectorStats cross-checks the metrics registry
+// against the pipeline's own lifetime counters: the packets the sampler
+// counted into exiot_sampler_packets_total must be exactly the packets
+// the detector reports processing, and the feed-insert counter must
+// match the server's RecordsCreated. Catches instrumentation placed on
+// the wrong side of a branch (counting dropped work, or missing a path).
+func TestTelemetryMatchesDetectorStats(t *testing.T) {
+	packetsBefore := counter("exiot_sampler_packets_total").Value()
+	hoursBefore := counter("exiot_sampler_hours_total").Value()
+	recordsBefore := counter("exiot_feed_records_total").Value()
+	endsBefore := counter("exiot_feed_flow_ends_total").Value()
+
+	l, _ := testLocal(t, 104, 6)
+
+	st := l.Sampler().DetectorStats()
+	if got := counter("exiot_sampler_packets_total").Value() - packetsBefore; got != st.Processed {
+		t.Errorf("exiot_sampler_packets_total advanced by %d, detector processed %d", got, st.Processed)
+	}
+	if got := counter("exiot_sampler_hours_total").Value() - hoursBefore; got != 6 {
+		t.Errorf("exiot_sampler_hours_total advanced by %d, want 6", got)
+	}
+	c := l.Server().Counters()
+	if got := counter("exiot_feed_records_total").Value() - recordsBefore; got != c.RecordsCreated {
+		t.Errorf("exiot_feed_records_total advanced by %d, server created %d", got, c.RecordsCreated)
+	}
+	if got := counter("exiot_feed_flow_ends_total").Value() - endsBefore; got != c.FlowsEnded {
+		t.Errorf("exiot_feed_flow_ends_total advanced by %d, server ended %d", got, c.FlowsEnded)
+	}
+	if c.RecordsCreated == 0 {
+		t.Fatal("run produced no records; the telemetry deltas above are vacuous")
+	}
+}

@@ -10,7 +10,18 @@ import (
 
 	"exiot/internal/packet"
 	"exiot/internal/recog"
+	"exiot/internal/telemetry"
 	"exiot/internal/zmap"
+)
+
+// Telemetry handles for the scan-module stage (see docs/OPERATIONS.md).
+var (
+	metBatches = telemetry.Default().Counter("exiot_scanmod_batches_total",
+		"Scan batches flushed to active measurement (size or age trigger).")
+	metScanners = telemetry.Default().CounterVec("exiot_scanmod_scanners_total",
+		"Scanners actively measured, by fingerprint outcome (tagged|untagged).", "result")
+	metPending = telemetry.Default().Gauge("exiot_scanmod_pending",
+		"Scanners buffered awaiting the next batch flush.")
 )
 
 // Config controls batch accumulation.
@@ -70,6 +81,7 @@ func (m *Module) Enqueue(ip packet.IP, now time.Time) []Tagged {
 		m.oldestAdded = now
 	}
 	m.pending = append(m.pending, ip)
+	metPending.Set(float64(len(m.pending)))
 	if len(m.pending) >= m.cfg.BatchSize || now.Sub(m.oldestAdded) >= m.cfg.BatchWait {
 		return m.Flush()
 	}
@@ -84,8 +96,12 @@ func (m *Module) Flush() []Tagged {
 	if len(m.pending) == 0 {
 		return nil
 	}
+	span := telemetry.Default().StartSpan("probe")
+	defer span.End()
 	ips := m.pending
 	m.pending = nil
+	metPending.Set(0)
+	metBatches.Inc()
 	results := m.scanner.ScanBatch(ips)
 	out := make([]Tagged, len(ips))
 	for i := range ips {
@@ -98,6 +114,11 @@ func (m *Module) Flush() []Tagged {
 			}
 		}
 		m.scanned++
+		if out[i].Match != nil {
+			metScanners.With("tagged").Inc()
+		} else {
+			metScanners.With("untagged").Inc()
+		}
 	}
 	return out
 }

@@ -12,6 +12,15 @@ import (
 
 	"exiot/internal/device"
 	"exiot/internal/packet"
+	"exiot/internal/telemetry"
+)
+
+// Telemetry handles for the generation stage (see docs/OPERATIONS.md).
+var (
+	metPacketsGenerated = telemetry.Default().Counter("exiot_simnet_packets_generated_total",
+		"Telescope packets synthesized by the world simulator.")
+	metHoursGenerated = telemetry.Default().Counter("exiot_simnet_hours_generated_total",
+		"Simulated capture hours generated.")
 )
 
 // GenerateHour produces every telescope-observed packet with a timestamp
@@ -29,6 +38,8 @@ func (w *World) GenerateHour(hour time.Time) []packet.Packet {
 // path. Each host's rng is seeded from (host seed, hour) alone, so the
 // per-host streams are identical no matter which worker generates them.
 func (w *World) GenerateHourWorkers(hour time.Time, workers int) []packet.Packet {
+	span := telemetry.Default().StartSpan("generate")
+	defer span.End()
 	hourEnd := hour.Add(time.Hour)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -46,6 +57,8 @@ func (w *World) GenerateHourWorkers(hour time.Time, workers int) []packet.Packet
 			out = w.generateHost(out, h, hour, hourEnd)
 		}
 		sort.SliceStable(out, func(i, j int) bool { return out[i].Timestamp.Before(out[j].Timestamp) })
+		metPacketsGenerated.Add(int64(len(out)))
+		metHoursGenerated.Inc()
 		return out
 	}
 
@@ -68,7 +81,10 @@ func (w *World) GenerateHourWorkers(hour time.Time, workers int) []packet.Packet
 		}()
 	}
 	wg.Wait()
-	return mergeRuns(runs)
+	merged := mergeRuns(runs)
+	metPacketsGenerated.Add(int64(len(merged)))
+	metHoursGenerated.Inc()
+	return merged
 }
 
 // mergeRuns k-way merges per-host time-sorted runs into one stream

@@ -13,6 +13,20 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"exiot/internal/telemetry"
+)
+
+// Telemetry handles for the database stage (see docs/OPERATIONS.md).
+// Counts aggregate across collections — the latest and historical feed
+// databases both funnel through here.
+var (
+	metStoreInserts = telemetry.Default().CounterVec("exiot_store_ops_total",
+		"Document-store operations, by op (insert|update|delete|expire).", "op")
+	opInsert = metStoreInserts.With("insert")
+	opUpdate = metStoreInserts.With("update")
+	opDelete = metStoreInserts.With("delete")
+	opExpire = metStoreInserts.With("expire")
 )
 
 // ObjectID is a Mongo-shaped document identifier: 4 bytes of unix time,
@@ -58,6 +72,7 @@ func (c *Collection[T]) Insert(ts time.Time, doc T) ObjectID {
 	defer c.mu.Unlock()
 	c.docs[id] = doc
 	c.order = append(c.order, id)
+	opInsert.Inc()
 	return id
 }
 
@@ -82,6 +97,7 @@ func (c *Collection[T]) Update(id ObjectID, fn func(*T)) bool {
 	}
 	fn(&doc)
 	c.docs[id] = doc
+	opUpdate.Inc()
 	return true
 }
 
@@ -137,6 +153,7 @@ func (c *Collection[T]) Delete(id ObjectID) bool {
 		return false
 	}
 	delete(c.docs, id)
+	opDelete.Inc()
 	return true
 }
 
@@ -160,6 +177,7 @@ func (c *Collection[T]) Expire(cutoff time.Time) int {
 		keep = append(keep, id)
 	}
 	c.order = keep
+	opExpire.Add(int64(removed))
 	return removed
 }
 

@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one HELP/TYPE block per family in registration
+// order, series sorted by label values so scrapes are deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	fams := append([]*family(nil), r.order...)
+	r.mu.RUnlock()
+
+	var sb strings.Builder
+	for _, f := range fams {
+		f.write(&sb)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func (f *family) write(sb *strings.Builder) {
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	entries := make([]*seriesEntry, 0, len(keys))
+	sort.Strings(keys)
+	for _, k := range keys {
+		entries = append(entries, f.series[k])
+	}
+	f.mu.RUnlock()
+	if len(entries) == 0 {
+		return
+	}
+
+	fmt.Fprintf(sb, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(sb, "# TYPE %s %s\n", f.name, f.typ)
+	for _, e := range entries {
+		switch m := e.metric.(type) {
+		case *Counter:
+			sb.WriteString(f.name)
+			writeLabels(sb, f.labels, e.values, "", "")
+			fmt.Fprintf(sb, " %d\n", m.Value())
+		case *Gauge:
+			sb.WriteString(f.name)
+			writeLabels(sb, f.labels, e.values, "", "")
+			sb.WriteByte(' ')
+			sb.WriteString(formatFloat(m.Value()))
+			sb.WriteByte('\n')
+		case *Histogram:
+			cum := int64(0)
+			for i, ub := range m.upper {
+				cum += m.counts[i].Load()
+				sb.WriteString(f.name + "_bucket")
+				writeLabels(sb, f.labels, e.values, "le", formatFloat(ub))
+				fmt.Fprintf(sb, " %d\n", cum)
+			}
+			cum += m.counts[len(m.upper)].Load()
+			sb.WriteString(f.name + "_bucket")
+			writeLabels(sb, f.labels, e.values, "le", "+Inf")
+			fmt.Fprintf(sb, " %d\n", cum)
+			sb.WriteString(f.name + "_sum")
+			writeLabels(sb, f.labels, e.values, "", "")
+			sb.WriteByte(' ')
+			sb.WriteString(formatFloat(m.Sum()))
+			sb.WriteByte('\n')
+			sb.WriteString(f.name + "_count")
+			writeLabels(sb, f.labels, e.values, "", "")
+			fmt.Fprintf(sb, " %d\n", m.Count())
+		}
+	}
+}
+
+// writeLabels renders {k="v",...}, appending the extra pair (used for
+// the histogram le label) when extraKey is non-empty.
+func writeLabels(sb *strings.Builder, names, values []string, extraKey, extraVal string) {
+	if len(names) == 0 && extraKey == "" {
+		return
+	}
+	sb.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(values[i]))
+		sb.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(names) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extraKey)
+		sb.WriteString(`="`)
+		sb.WriteString(extraVal)
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(v string) string { return helpEscaper.Replace(v) }

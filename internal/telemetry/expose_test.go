@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden locks the exposition format byte-for-byte so
+// real scrapers keep parsing it.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("exiot_test_packets_total", "Packets processed.").Add(42)
+	v := r.CounterVec("exiot_test_probes_total", "Probes by protocol.", "protocol", "result")
+	v.With("telnet", "open").Add(3)
+	v.With("http", "closed").Add(7)
+	r.Gauge("exiot_test_queue_depth", "Queue depth.").Set(5)
+	h := r.Histogram("exiot_test_seconds", "Durations.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2.5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP exiot_test_packets_total Packets processed.
+# TYPE exiot_test_packets_total counter
+exiot_test_packets_total 42
+# HELP exiot_test_probes_total Probes by protocol.
+# TYPE exiot_test_probes_total counter
+exiot_test_probes_total{protocol="http",result="closed"} 7
+exiot_test_probes_total{protocol="telnet",result="open"} 3
+# HELP exiot_test_queue_depth Queue depth.
+# TYPE exiot_test_queue_depth gauge
+exiot_test_queue_depth 5
+# HELP exiot_test_seconds Durations.
+# TYPE exiot_test_seconds histogram
+exiot_test_seconds_bucket{le="0.1"} 1
+exiot_test_seconds_bucket{le="1"} 2
+exiot_test_seconds_bucket{le="+Inf"} 3
+exiot_test_seconds_sum 3.05
+exiot_test_seconds_count 3
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestExpositionEscaping checks label-value and help escaping.
+func TestExpositionEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("exiot_escape_total", "line1\nline2 with \\ slash", "path")
+	v.With(`a"b\c` + "\n").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `# HELP exiot_escape_total line1\nline2 with \\ slash`) {
+		t.Fatalf("help not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `exiot_escape_total{path="a\"b\\c\n"} 1`) {
+		t.Fatalf("label not escaped:\n%s", out)
+	}
+}
+
+// TestExpositionSkipsEmptyFamilies checks a vec with no series renders
+// nothing (no dangling HELP/TYPE blocks).
+func TestExpositionSkipsEmptyFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("exiot_unused_total", "never used", "x")
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Fatalf("expected empty exposition, got %q", sb.String())
+	}
+}

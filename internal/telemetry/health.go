@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Health tracks the liveness of named pipeline components. Each
+// component registers a Check with a maximum beat age and calls Beat
+// whenever it makes progress (an hour ingested, an event handled, a
+// record written). Evaluate reports the whole process healthy only when
+// every started component has beaten recently enough — a feed that stops
+// advancing flips the report to unhealthy without any stage crashing.
+//
+// Semantics per check:
+//   - pending: never beaten — the component has not started yet (a feed
+//     server waiting for its first sampler event). Counts as healthy so
+//     a freshly started process is not born dead.
+//   - ok: beaten within MaxAge.
+//   - stalled: last beat older than MaxAge. Unhealthy.
+//   - idle: the Health was frozen (a finished batch run that now serves
+//     a static feed). Healthy by declaration.
+type Health struct {
+	mu     sync.Mutex
+	checks map[string]*Check
+	order  []string
+	frozen bool
+}
+
+// NewHealth creates an empty health tracker.
+func NewHealth() *Health {
+	return &Health{checks: make(map[string]*Check)}
+}
+
+// defaultHealth is the process-wide health tracker, the one the API's
+// /healthz endpoint evaluates unless overridden.
+var defaultHealth = NewHealth()
+
+// DefaultHealth returns the process-wide health tracker.
+func DefaultHealth() *Health { return defaultHealth }
+
+// Check is one component's liveness state. Beat is safe for concurrent
+// use from the component's hot path.
+type Check struct {
+	name   string
+	maxAge time.Duration
+
+	mu    sync.Mutex
+	last  time.Time
+	beats int64
+}
+
+// Register returns the check for name, creating it with maxAge on first
+// use (get-or-create, so components can register independently of order).
+func (h *Health) Register(name string, maxAge time.Duration) *Check {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if c, ok := h.checks[name]; ok {
+		return c
+	}
+	c := &Check{name: name, maxAge: maxAge}
+	h.checks[name] = c
+	h.order = append(h.order, name)
+	return c
+}
+
+// Beat records progress at the current wall-clock time.
+func (c *Check) Beat() { c.BeatAt(time.Now()) }
+
+// BeatAt records progress at an explicit instant (tests).
+func (c *Check) BeatAt(t time.Time) {
+	c.mu.Lock()
+	if t.After(c.last) {
+		c.last = t
+	}
+	c.beats++
+	c.mu.Unlock()
+}
+
+// Freeze declares the process intentionally quiescent: a finished
+// simulation keeps serving its feed, and stalls are no longer failures.
+func (h *Health) Freeze() {
+	h.mu.Lock()
+	h.frozen = true
+	h.mu.Unlock()
+}
+
+// ComponentHealth is one check's evaluated state.
+type ComponentHealth struct {
+	Name          string     `json:"name"`
+	Status        string     `json:"status"` // pending | ok | stalled | idle
+	Healthy       bool       `json:"healthy"`
+	Beats         int64      `json:"beats"`
+	LastBeat      *time.Time `json:"last_beat,omitempty"`
+	AgeSeconds    float64    `json:"age_seconds"`
+	MaxAgeSeconds float64    `json:"max_age_seconds"`
+}
+
+// Report is the whole-process health evaluation /healthz serializes.
+type Report struct {
+	Healthy     bool              `json:"healthy"`
+	GeneratedAt time.Time         `json:"generated_at"`
+	Components  []ComponentHealth `json:"components"`
+}
+
+// Evaluate computes the report as of now. Components are listed in
+// name order so the output is deterministic.
+func (h *Health) Evaluate(now time.Time) Report {
+	h.mu.Lock()
+	frozen := h.frozen
+	names := append([]string(nil), h.order...)
+	checks := make([]*Check, len(names))
+	for i, n := range names {
+		checks[i] = h.checks[n]
+	}
+	h.mu.Unlock()
+	sort.Slice(checks, func(i, j int) bool { return checks[i].name < checks[j].name })
+
+	rep := Report{Healthy: true, GeneratedAt: now}
+	for _, c := range checks {
+		c.mu.Lock()
+		last, beats := c.last, c.beats
+		c.mu.Unlock()
+		ch := ComponentHealth{
+			Name:          c.name,
+			Beats:         beats,
+			MaxAgeSeconds: c.maxAge.Seconds(),
+			Healthy:       true,
+		}
+		switch {
+		case beats == 0:
+			ch.Status = "pending"
+		case frozen:
+			ch.Status = "idle"
+			t := last
+			ch.LastBeat = &t
+			ch.AgeSeconds = now.Sub(last).Seconds()
+		default:
+			t := last
+			ch.LastBeat = &t
+			ch.AgeSeconds = now.Sub(last).Seconds()
+			if now.Sub(last) > c.maxAge {
+				ch.Status = "stalled"
+				ch.Healthy = false
+				rep.Healthy = false
+			} else {
+				ch.Status = "ok"
+			}
+		}
+		rep.Components = append(rep.Components, ch)
+	}
+	return rep
+}

@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHealthDegradation walks one check through its lifecycle: pending →
+// ok → stalled (the feed stops advancing) → idle after Freeze.
+func TestHealthDegradation(t *testing.T) {
+	h := NewHealth()
+	feed := h.Register("feed", time.Minute)
+	t0 := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+
+	rep := h.Evaluate(t0)
+	if !rep.Healthy || rep.Components[0].Status != "pending" {
+		t.Fatalf("before first beat: %+v", rep)
+	}
+
+	feed.BeatAt(t0)
+	rep = h.Evaluate(t0.Add(30 * time.Second))
+	if !rep.Healthy || rep.Components[0].Status != "ok" {
+		t.Fatalf("within window: %+v", rep)
+	}
+
+	// The feed stops advancing: past MaxAge the report flips unhealthy.
+	rep = h.Evaluate(t0.Add(5 * time.Minute))
+	if rep.Healthy || rep.Components[0].Status != "stalled" || rep.Components[0].Healthy {
+		t.Fatalf("after stall: %+v", rep)
+	}
+
+	// A finished batch run freezes health: stalls become intentional.
+	h.Freeze()
+	rep = h.Evaluate(t0.Add(24 * time.Hour))
+	if !rep.Healthy || rep.Components[0].Status != "idle" {
+		t.Fatalf("after freeze: %+v", rep)
+	}
+}
+
+// TestHealthMultipleComponents checks one stalled component is enough to
+// flip the whole report.
+func TestHealthMultipleComponents(t *testing.T) {
+	h := NewHealth()
+	a := h.Register("ingest", time.Minute)
+	b := h.Register("feed", time.Minute)
+	t0 := time.Now()
+	a.BeatAt(t0)
+	b.BeatAt(t0.Add(-10 * time.Minute))
+	rep := h.Evaluate(t0)
+	if rep.Healthy {
+		t.Fatalf("expected unhealthy: %+v", rep)
+	}
+	healthy := map[string]bool{}
+	for _, c := range rep.Components {
+		healthy[c.Name] = c.Healthy
+	}
+	if !healthy["ingest"] || healthy["feed"] {
+		t.Fatalf("component states wrong: %+v", rep.Components)
+	}
+}
+
+// TestHealthRegisterIdempotent checks get-or-create registration.
+func TestHealthRegisterIdempotent(t *testing.T) {
+	h := NewHealth()
+	a := h.Register("x", time.Minute)
+	b := h.Register("x", time.Hour)
+	if a != b {
+		t.Fatal("Register returned distinct checks for one name")
+	}
+}
+
+// TestHealthzHandlerStatusCodes checks the HTTP surface: 200 while ok,
+// 503 once stalled, and a parseable JSON body either way.
+func TestHealthzHandlerStatusCodes(t *testing.T) {
+	h := NewHealth()
+	c := h.Register("feed", time.Hour)
+	c.Beat()
+
+	rec := httptest.NewRecorder()
+	HealthzHandler(h).ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("healthy status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if !rep.Healthy || len(rep.Components) != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+
+	// Stall it: re-register is get-or-create, so shrink via a new tracker.
+	h2 := NewHealth()
+	c2 := h2.Register("feed", time.Nanosecond)
+	c2.BeatAt(time.Now().Add(-time.Hour))
+	rec = httptest.NewRecorder()
+	HealthzHandler(h2).ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("stalled status = %d, body %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestMetricsHandler checks content type and payload.
+func TestMetricsHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("exiot_http_test_total", "help").Add(9)
+	rec := httptest.NewRecorder()
+	MetricsHandler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("content type = %q", ct)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, "exiot_http_test_total 9") {
+		t.Fatalf("body missing counter: %q", body)
+	}
+}

@@ -1,0 +1,51 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// MetricsHandler serves the registry in Prometheus text exposition
+// format (GET /metrics).
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// HealthzHandler serves the health report as JSON: HTTP 200 while every
+// started component beats within its window, 503 once any stalls.
+func HealthzHandler(h *Health) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		rep := h.Evaluate(time.Now())
+		w.Header().Set("Content-Type", "application/json")
+		status := http.StatusOK
+		if !rep.Healthy {
+			status = http.StatusServiceUnavailable
+		}
+		w.WriteHeader(status)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	})
+}
+
+// NewMux builds the operator-facing telemetry mux: /metrics, /healthz,
+// and (optionally) the net/http/pprof handlers under /debug/pprof/.
+// exiotd serves this on -telemetry-addr, separate from the public API.
+func NewMux(r *Registry, h *Health, withPprof bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", MetricsHandler(r))
+	mux.Handle("GET /healthz", HealthzHandler(h))
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}

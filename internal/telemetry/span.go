@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// StageHistogramName is the histogram family stage spans record into;
+// the stage label carries the stage name.
+const StageHistogramName = "exiot_stage_seconds"
+
+// stageHist returns the shared per-stage duration histogram.
+func (r *Registry) stageHist() *HistogramVec {
+	return r.HistogramVec(StageHistogramName,
+		"Wall-clock duration of one pipeline stage execution, by stage.",
+		nil, "stage")
+}
+
+// Span measures one execution of a named pipeline stage. Obtain one with
+// StartSpan and finish it with End; the duration lands in the
+// exiot_stage_seconds histogram under the stage label.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartSpan starts timing one execution of stage.
+func (r *Registry) StartSpan(stage string) Span {
+	return Span{h: r.stageHist().With(stage), start: time.Now()}
+}
+
+// End records the span's duration and returns it.
+func (s Span) End() time.Duration {
+	d := time.Since(s.start)
+	s.h.Observe(d.Seconds())
+	return d
+}
+
+// StageTimer returns a cached histogram handle for repeatedly timing the
+// same stage without the per-call vec lookup.
+func (r *Registry) StageTimer(stage string) *Histogram {
+	return r.stageHist().With(stage)
+}
+
+// StageStat summarizes one stage's recorded spans.
+type StageStat struct {
+	Stage string
+	Count int64
+	Total time.Duration
+	Mean  time.Duration
+}
+
+// StageStats returns per-stage span statistics sorted by total time
+// descending (the stages dominating the run first).
+func (r *Registry) StageStats() []StageStat {
+	r.mu.RLock()
+	f := r.families[StageHistogramName]
+	r.mu.RUnlock()
+	if f == nil {
+		return nil
+	}
+	f.mu.RLock()
+	out := make([]StageStat, 0, len(f.series))
+	for _, e := range f.series {
+		h := e.metric.(*Histogram)
+		n := h.Count()
+		if n == 0 {
+			continue
+		}
+		total := time.Duration(h.Sum() * float64(time.Second))
+		out = append(out, StageStat{
+			Stage: e.values[0],
+			Count: n,
+			Total: total,
+			Mean:  total / time.Duration(n),
+		})
+	}
+	f.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Stage < out[j].Stage
+	})
+	return out
+}
+
+// StageSummary renders the stage statistics as an aligned text table for
+// end-of-run reports (cmd/experiments, cmd/flowsampler). Empty when no
+// spans were recorded.
+func (r *Registry) StageSummary() string {
+	stats := r.StageStats()
+	if len(stats) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString("stage timings (total desc):\n")
+	fmt.Fprintf(&sb, "  %-14s %10s %14s %14s\n", "stage", "calls", "total", "mean")
+	for _, st := range stats {
+		fmt.Fprintf(&sb, "  %-14s %10d %14s %14s\n",
+			st.Stage, st.Count, st.Total.Round(time.Microsecond), st.Mean.Round(time.Microsecond))
+	}
+	return sb.String()
+}

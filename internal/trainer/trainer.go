@@ -17,6 +17,18 @@ import (
 
 	"exiot/internal/features"
 	"exiot/internal/ml"
+	"exiot/internal/telemetry"
+)
+
+// Telemetry handles for the update-classifier stage (see
+// docs/OPERATIONS.md).
+var (
+	metRetrains = telemetry.Default().CounterVec("exiot_retrain_total",
+		"Daily retrain cycles attempted, by outcome (ok|starved).", "result")
+	metWindowSize = telemetry.Default().Gauge("exiot_trainer_window_size",
+		"Labeled examples currently in the sliding training window.")
+	metModelAUC = telemetry.Default().Gauge("exiot_model_auc",
+		"ROC-AUC of the most recently trained model on its test split.")
 )
 
 // Config parameterizes the update-classifier module.
@@ -159,14 +171,18 @@ func (t *Trainer) snapshotDataset(now time.Time) ml.Dataset {
 
 // Retrain runs one daily training cycle as of now.
 func (t *Trainer) Retrain(now time.Time) (*TrainedModel, error) {
+	span := telemetry.Default().StartSpan("retrain")
+	defer span.End()
 	t.mu.Lock()
 	ds := t.snapshotDataset(now)
 	t.retrains++
 	seed := t.cfg.Seed + int64(t.retrains)
+	metWindowSize.Set(float64(len(t.examples)))
 	t.mu.Unlock()
 
 	neg, pos := ds.ClassCounts()
 	if ds.Len() < t.cfg.MinExamples || neg == 0 || pos == 0 {
+		metRetrains.With("starved").Inc()
 		return nil, fmt.Errorf("%w: %d samples (%d IoT / %d non-IoT)", ErrNotEnoughData, ds.Len(), pos, neg)
 	}
 
@@ -227,6 +243,8 @@ func (t *Trainer) Retrain(now time.Time) (*TrainedModel, error) {
 			return nil, fmt.Errorf("trainer: archive: %w", err)
 		}
 	}
+	metRetrains.With("ok").Inc()
+	metModelAUC.Set(m.AUC)
 	return m, nil
 }
 

@@ -4,11 +4,25 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"exiot/internal/mbuf"
 	"exiot/internal/packet"
+	"exiot/internal/telemetry"
+)
+
+// Telemetry handles for the sharded-detection stage (see
+// docs/OPERATIONS.md). Per-shard series are cached on the shard structs;
+// only family registration happens here.
+var (
+	metShardQueueDepth = telemetry.Default().GaugeVec("exiot_trw_shard_queue_depth",
+		"Buffered batches on one detector shard's input queue (backlog).", "shard")
+	metShardFlowTable = telemetry.Default().GaugeVec("exiot_trw_shard_flow_table_size",
+		"Tracked source-flow entries in one detector shard's state table.", "shard")
+	metMergedEvents = telemetry.Default().Counter("exiot_trw_merged_events_total",
+		"Detector events delivered through the deterministic shard merge.")
 )
 
 const (
@@ -109,6 +123,11 @@ type shard struct {
 	reports []SecondReport
 	curIdx  int64
 	sweep   bool
+
+	// Cached telemetry series for this shard (vec lookups are too
+	// expensive for the routing hot path).
+	queueDepth *telemetry.Gauge
+	flowTable  *telemetry.Gauge
 }
 
 func (s *shard) collect(e Event) {
@@ -163,7 +182,12 @@ func NewShardedDetector(cfg Config, workers int, emit func(Event)) *ShardedDetec
 	}
 	d := &ShardedDetector{emit: emit, shards: make([]*shard, workers)}
 	for i := range d.shards {
-		s := &shard{in: mbuf.New[shardOp](shardQueueDepth)}
+		label := strconv.Itoa(i)
+		s := &shard{
+			in:         mbuf.New[shardOp](shardQueueDepth),
+			queueDepth: metShardQueueDepth.With(label),
+			flowTable:  metShardFlowTable.With(label),
+		}
 		s.det = NewDetector(cfg, s.collect)
 		d.shards[i] = s
 		d.wg.Add(1)
@@ -213,14 +237,18 @@ func (d *ShardedDetector) ProcessBatch(pkts []packet.Packet) {
 		batches[si] = append(batches[si], shardPkt{p: p, idx: d.nextIdx})
 		d.nextIdx++
 		if len(batches[si]) == shardBatchSize {
-			d.shards[si].in.Push(shardOp{kind: opProcess, pkts: batches[si]})
+			s := d.shards[si]
+			s.in.Push(shardOp{kind: opProcess, pkts: batches[si]})
+			s.queueDepth.Set(float64(s.in.Len()))
 			batches[si] = nil
 		}
 	}
 	d.lastTs = pkts[len(pkts)-1].Timestamp
 	for si, b := range batches {
 		if len(b) > 0 {
-			d.shards[si].in.Push(shardOp{kind: opProcess, pkts: b})
+			s := d.shards[si]
+			s.in.Push(shardOp{kind: opProcess, pkts: b})
+			s.queueDepth.Set(float64(s.in.Len()))
 		}
 	}
 }
@@ -257,7 +285,9 @@ func (d *ShardedDetector) Flush(now time.Time) {
 	d.deliver(true)
 }
 
-// barrier waits until every shard has executed all queued work.
+// barrier waits until every shard has executed all queued work, then
+// refreshes the per-shard telemetry gauges (queues drained, state tables
+// readable without racing the shard goroutines).
 func (d *ShardedDetector) barrier() {
 	done := make(chan struct{}, len(d.shards))
 	for _, s := range d.shards {
@@ -265,6 +295,10 @@ func (d *ShardedDetector) barrier() {
 	}
 	for range d.shards {
 		<-done
+	}
+	for _, s := range d.shards {
+		s.queueDepth.Set(float64(s.in.Len()))
+		s.flowTable.Set(float64(len(s.det.state)))
 	}
 }
 
@@ -314,19 +348,23 @@ func (d *ShardedDetector) deliver(flush bool) {
 	// Interleave: the report for a second is due before the packet that
 	// crossed it, so at an equal trigger reports go first.
 	ei := 0
+	emit := func(e Event) {
+		metMergedEvents.Inc()
+		d.emit(e)
+	}
 	for _, m := range marks {
 		for ei < len(evs) && evs[ei].trigger < m.trigger {
-			d.emit(evs[ei].ev)
+			emit(evs[ei].ev)
 			ei++
 		}
 		rep := agg[m.second.UnixNano()]
 		if rep == nil {
 			rep = &SecondReport{Second: m.second}
 		}
-		d.emit(Event{Kind: EventSecondReport, Report: rep})
+		emit(Event{Kind: EventSecondReport, Report: rep})
 	}
 	for ; ei < len(evs); ei++ {
-		d.emit(evs[ei].ev)
+		emit(evs[ei].ev)
 	}
 }
 

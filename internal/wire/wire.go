@@ -16,6 +16,22 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"exiot/internal/telemetry"
+)
+
+// Telemetry handles for the transport stage (see docs/OPERATIONS.md). A
+// rising retry counter with a flat sent counter is the classic signature
+// of an unreachable feed server.
+var (
+	metFramesSent = telemetry.Default().Counter("exiot_wire_frames_sent_total",
+		"Frames acknowledged end-to-end by the feed-server receiver.")
+	metSendRetries = telemetry.Default().Counter("exiot_wire_send_retries_total",
+		"Reconnect-and-resend attempts after a failed frame delivery.")
+	metFramesReceived = telemetry.Default().Counter("exiot_wire_frames_received_total",
+		"Fresh frames delivered to the receiver's handler.")
+	metFramesDuplicate = telemetry.Default().Counter("exiot_wire_frames_duplicate_total",
+		"Duplicate frames discarded by sequence-number de-duplication.")
 )
 
 // Kind tags a frame's payload type.
@@ -112,11 +128,13 @@ func (s *Sender) Send(kind Kind, payload []byte) error {
 	attempts := 0
 	for {
 		if err := s.trySend(f); err == nil {
+			metFramesSent.Inc()
 			return nil
 		}
 		// Connection failed mid-frame: drop it and go idle until the
 		// other side is reachable again.
 		s.dropConn()
+		metSendRetries.Inc()
 		attempts++
 		if s.MaxRetries > 0 && attempts >= s.MaxRetries {
 			return fmt.Errorf("wire: send seq %d: receiver unreachable after %d attempts", f.Seq, attempts)
@@ -243,7 +261,10 @@ func (r *Receiver) serve(conn net.Conn) {
 		}
 		if fresh {
 			// Deliver before acking so an acked frame is never lost.
+			metFramesReceived.Inc()
 			r.handler(*f)
+		} else {
+			metFramesDuplicate.Inc()
 		}
 		var ack [8]byte
 		binary.BigEndian.PutUint64(ack[:], f.Seq)

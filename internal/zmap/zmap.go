@@ -12,6 +12,22 @@ import (
 	"sync"
 
 	"exiot/internal/packet"
+	"exiot/internal/telemetry"
+)
+
+// Telemetry handles for the active-measurement stage (see
+// docs/OPERATIONS.md). On a real deployment "closed" covers refused and
+// timed-out probes alike — the simulator's prober answers instantly, so
+// the two are indistinguishable here.
+var (
+	metProbes = telemetry.Default().CounterVec("exiot_zmap_probes_total",
+		"TCP port probes attempted, by application protocol and outcome (open|closed).",
+		"protocol", "result")
+	metBanners = telemetry.Default().CounterVec("exiot_zmap_banners_total",
+		"Application banner grabs on open ports, by protocol and outcome (grabbed|empty).",
+		"protocol", "result")
+	metHostsScanned = telemetry.Default().Counter("exiot_zmap_hosts_scanned_total",
+		"Scanner hosts actively measured (all target ports probed).")
 )
 
 // Prober answers active probes. *simnet.World implements it.
@@ -98,14 +114,21 @@ func NewScannerWithPorts(p Prober, ports []uint16) *Scanner {
 func (s *Scanner) ScanHost(ip packet.IP) HostResult {
 	res := HostResult{IP: ip}
 	for _, port := range s.ports {
+		proto := PortProtocol(port)
 		if !s.prober.ProbePort(ip, port) {
+			metProbes.With(proto, "closed").Inc()
 			continue
 		}
+		metProbes.With(proto, "open").Inc()
 		res.OpenPorts = append(res.OpenPorts, port)
-		if banner, proto, ok := s.prober.GrabBanner(ip, port); ok && banner != "" {
-			res.Banners = append(res.Banners, Banner{Port: port, Protocol: proto, Banner: banner})
+		if banner, bproto, ok := s.prober.GrabBanner(ip, port); ok && banner != "" {
+			metBanners.With(proto, "grabbed").Inc()
+			res.Banners = append(res.Banners, Banner{Port: port, Protocol: bproto, Banner: banner})
+		} else {
+			metBanners.With(proto, "empty").Inc()
 		}
 	}
+	metHostsScanned.Inc()
 	s.mu.Lock()
 	s.probesSent += int64(len(s.ports))
 	s.mu.Unlock()
