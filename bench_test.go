@@ -8,6 +8,7 @@ package exiot_test
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
 	"testing"
@@ -368,10 +369,66 @@ func BenchmarkForestPredict(b *testing.B) {
 	}
 	forest := ml.TrainForest(&ds, ml.ForestConfig{NumTrees: 100, Seed: 1})
 	x := ds.X[0]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		forest.PredictProba(x)
 	}
+}
+
+// BenchmarkAblationForestLayout compares the pointer-tree forest against
+// its flattened node-arena form (and the arena's batch entry point) on
+// identical inputs — the layout ablation behind the classify hot path.
+// Scores are bit-identical across all three; only locality and
+// allocation behaviour differ.
+func BenchmarkAblationForestLayout(b *testing.B) {
+	// A noisy, overlapping dataset: trees grow deep (hundreds of nodes),
+	// which is where node size and arena locality decide the walk cost —
+	// a trivially separable set yields depth-1 trees and hides the
+	// layout entirely.
+	r := rand.New(rand.NewSource(9))
+	var ds ml.Dataset
+	for i := 0; i < 2000; i++ {
+		x := make([]float64, features.Dim)
+		for j := range x {
+			x[j] = r.Float64()
+		}
+		y := 0
+		if x[3]+x[40]*x[90]+0.3*x[117] > 0.95 {
+			y = 1
+		}
+		if r.Float64() < 0.15 {
+			y = 1 - y
+		}
+		ds.Append(x, y)
+	}
+	forest := ml.TrainForest(&ds, ml.ForestConfig{NumTrees: 100, Seed: 1})
+	flat := forest.Flatten()
+
+	b.Run("pointer", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			forest.PredictProba(ds.X[i%len(ds.X)])
+		}
+	})
+	b.Run("flat", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			flat.PredictProba(ds.X[i%len(ds.X)])
+		}
+	})
+	b.Run("flat-batch", func(b *testing.B) {
+		rows := ds.X[:256]
+		out := make([]float64, len(rows))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			flat.PredictProbaBatch(rows, out)
+		}
+		// Normalize to per-row cost so the three sub-benches compare
+		// directly.
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(rows)), "ns/row")
+	})
 }
 
 // BenchmarkIngestThroughput measures the full ingest hot path — hour
@@ -459,4 +516,142 @@ func BenchmarkAdaptivity(b *testing.B) {
 	}
 	b.ReportMetric(r.FirstDayRate, "emergence-day-iot-rate")
 	b.ReportMetric(r.LastDayRate, "final-day-iot-rate")
+}
+
+// --- back-half throughput benches ---
+
+// benchBackHalf caches a captured sampler event stream: the serial
+// sampler runs once over a fixed world, and every bench iteration
+// replays the identical events into a fresh feed server.
+var (
+	benchBackHalfOnce   sync.Once
+	benchBackHalfEvents []stampedBenchEvent
+	benchBackHalfWorld  *simnet.World
+)
+
+type stampedBenchEvent struct {
+	e  pipeline.SamplerEvent
+	at time.Time
+}
+
+func backHalfEvents(b *testing.B) ([]stampedBenchEvent, *simnet.World) {
+	b.Helper()
+	benchBackHalfOnce.Do(func() {
+		cfg := simnet.DefaultConfig(2050)
+		cfg.NumInfected = 300
+		cfg.NumNonIoT = 50
+		cfg.NumMisconfig = 30
+		cfg.NumBackscat = 8
+		cfg.MaxPacketsPerHostHour = 1200
+		w := simnet.NewWorld(cfg)
+		delay := pipeline.DefaultLocalConfig().CollectionDelay +
+			pipeline.DefaultLocalConfig().ProcessingDelay
+		var at time.Time
+		sampler := pipeline.NewSamplerWorkers(trw.Default(), 0, 1, func(e pipeline.SamplerEvent) {
+			benchBackHalfEvents = append(benchBackHalfEvents, stampedBenchEvent{e: e, at: at})
+		})
+		start := w.Start()
+		for h := 0; h < 6; h++ {
+			hour := start.Add(time.Duration(h) * time.Hour)
+			at = hour.Add(time.Hour).Add(delay)
+			sampler.ProcessHour(w.GenerateHour(hour), hour.Add(time.Hour))
+		}
+		at = start.Add(6 * time.Hour).Add(delay)
+		sampler.Flush(start.Add(6 * time.Hour))
+		benchBackHalfWorld = w
+	})
+	if len(benchBackHalfEvents) == 0 {
+		b.Fatal("no sampler events captured")
+	}
+	return benchBackHalfEvents, benchBackHalfWorld
+}
+
+// BenchmarkBackHalfThroughput measures the feed back half — probe,
+// classify, enrich, store — on a fixed event stream at 1, 4, and
+// GOMAXPROCS workers, reporting events/sec and ns/event. Workers=1 is
+// the exact serial path; higher counts route through the classify
+// stage's worker pool, whose output is proven identical
+// (TestClassifyStageFeedEquivalence).
+func BenchmarkBackHalfThroughput(b *testing.B) {
+	events, w := backHalfEvents(b)
+	counts := []int{1, 4}
+	if gmp := runtime.GOMAXPROCS(0); gmp != 1 && gmp != 4 {
+		counts = append(counts, gmp)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var wall int64
+			for i := 0; i < b.N; i++ {
+				scfg := pipeline.DefaultServerConfig()
+				scfg.Workers = workers
+				srv := pipeline.NewServer(scfg, w, w.Registry(), nil)
+				last := events[len(events)-1].at
+				start := time.Now()
+				if workers > 1 {
+					stage := pipeline.NewClassifyStage(srv, workers)
+					for _, se := range events {
+						stage.Enqueue(se.e, se.at)
+					}
+					stage.Close()
+				} else {
+					for _, se := range events {
+						srv.HandleEvent(se.e, se.at)
+					}
+				}
+				srv.FlushScans(last)
+				srv.Tick(last)
+				wall += time.Since(start).Nanoseconds()
+			}
+			total := int64(b.N) * int64(len(events))
+			b.ReportMetric(float64(total)/(float64(wall)/1e9), "events/sec")
+			b.ReportMetric(float64(wall)/float64(total), "ns/event")
+		})
+	}
+}
+
+// BenchmarkIngestThroughputEndToEnd extends BenchmarkIngestThroughput
+// across the whole pipeline: pre-generated hours flow through detection,
+// the classify stage, active probing, and the feed server. Reported
+// pkts/sec is end-to-end — what an operator sees per worker knob.
+func BenchmarkIngestThroughputEndToEnd(b *testing.B) {
+	cfg := simnet.DefaultConfig(2051)
+	cfg.NumInfected = 300
+	cfg.NumNonIoT = 50
+	cfg.NumMisconfig = 30
+	cfg.NumBackscat = 8
+	cfg.MaxPacketsPerHostHour = 1200
+	const hours = 4
+	w := simnet.NewWorld(cfg)
+	pregen := make([][]packet.Packet, hours)
+	var total int64
+	for h := range pregen {
+		pregen[h] = w.GenerateHour(w.Start().Add(time.Duration(h) * time.Hour))
+		total += int64(len(pregen[h]))
+	}
+
+	counts := []int{1, 4}
+	if gmp := runtime.GOMAXPROCS(0); gmp != 1 && gmp != 4 {
+		counts = append(counts, gmp)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var wall int64
+			for i := 0; i < b.N; i++ {
+				lcfg := pipeline.DefaultLocalConfig()
+				lcfg.Workers = workers
+				local := pipeline.NewLocal(lcfg, w, w.Registry(), nil)
+				start := time.Now()
+				for h := 0; h < hours; h++ {
+					local.ProcessHour(pregen[h], w.Start().Add(time.Duration(h)*time.Hour))
+				}
+				local.Finish(w.Start().Add(hours * time.Hour))
+				wall += time.Since(start).Nanoseconds()
+			}
+			pkts := int64(b.N) * total
+			b.ReportMetric(float64(pkts)/(float64(wall)/1e9), "pkts/sec")
+			b.ReportMetric(float64(wall)/float64(pkts), "ns/pkt")
+		})
+	}
 }

@@ -48,7 +48,7 @@ func main() {
 		backscat  = flag.Int("backscatter", 10, "backscatter sources (world rebuild)")
 		whois     = flag.Bool("notify-whois", false, "send WHOIS abuse-contact notifications")
 		modelDir  = flag.String("models", "", "model archive directory (archive daily models; restore latest on start)")
-		workers   = flag.Int("workers", 0, "ingest workers for generation and detection (0 = GOMAXPROCS, 1 = serial)")
+		workers   = flag.Int("workers", 0, "worker count for generation, detection, and feed classification (0 = GOMAXPROCS, 1 = serial)")
 		telAddr   = flag.String("telemetry-addr", "", "operator telemetry listen address (/metrics, /healthz, /debug/pprof); empty disables")
 	)
 	flag.Parse()
@@ -121,6 +121,14 @@ func run(listen, apiAddr, apiKey string, simulate bool, hours int, seed int64,
 				fmt.Printf("restored model trained %s (AUC %.3f)\n", m.TrainedAt.Format(time.RFC3339), m.AUC)
 			}
 		}
+		// Route received events through the classify worker pool when the
+		// back half is parallel; the reorder buffer keeps the feed
+		// identical to the serial path.
+		handle := server.HandleEvent
+		if server.Workers() > 1 {
+			stage := pipeline.NewClassifyStage(server, server.Workers())
+			handle = stage.Enqueue
+		}
 		recv, err := wire.NewReceiver(listen, func(f wire.Frame) {
 			e, err := pipeline.DecodeEvent(f)
 			if err != nil {
@@ -130,7 +138,7 @@ func run(listen, apiAddr, apiKey string, simulate bool, hours int, seed int64,
 			// In split mode events carry their own (simulated) times; the
 			// feed stamps them with the configured pipeline delay.
 			availableAt := eventTime(e).Add(pcfg.CollectionDelay).Add(pcfg.ProcessingDelay)
-			server.HandleEvent(e, availableAt)
+			handle(e, availableAt)
 		})
 		if err != nil {
 			return err

@@ -76,69 +76,174 @@ func (a *Annotator) HasModel() bool {
 // label, when present, takes precedence over the model prediction — it is
 // the ground truth the model itself trains on.
 func (a *Annotator) Annotate(b *organizer.Batch, scan *zmap.HostResult, match *recog.Match) (feed.Record, error) {
-	rec := feed.Record{
-		IP:         b.IPString,
-		FirstSeen:  b.FirstSeen,
-		DetectedAt: b.DetectedAt,
-		LastSeen:   lastSeen(b),
-		Active:     true,
-	}
-	if scan != nil {
-		rec.OpenPorts = scan.OpenPorts
-		rec.Banners = scan.Banners
-	}
+	jobs := []Job{{Batch: b, Scan: scan, Match: match}}
+	recs, errs := a.AnnotateBatch(jobs, 1)
+	return recs[0], errs[0]
+}
 
-	raw, err := features.RawVector(b.Sample)
-	if err != nil {
-		return feed.Record{}, fmt.Errorf("annotate %s: %w", b.IPString, err)
-	}
+// Job is one flow awaiting annotation.
+type Job struct {
+	Batch *organizer.Batch
+	Scan  *zmap.HostResult
+	Match *recog.Match
+	// Raw is the precomputed 120-dim feature vector; when nil,
+	// AnnotateBatch computes it and fills it in, so callers can reuse it
+	// (the trainer retains it for banner-labeled flows).
+	Raw []float64
+	// RawErr carries a failed precomputation; the job is rejected with
+	// it, exactly as if the computation had failed here.
+	RawErr error
+}
 
-	switch {
-	case match != nil:
-		metClassified.With("banner").Inc()
-		rec.LabelSource = feed.SourceBanner
-		if match.IoT {
-			rec.Label = feed.LabelIoT
-			rec.Score = 1
-		} else {
-			rec.Label = feed.LabelNonIoT
-			rec.Score = 0
+// AnnotateBatch annotates many flows at once: feature extraction,
+// banner labeling, and enrichment fan out across up to workers
+// goroutines, and flows without a banner label are scored through the
+// classifier's batch path in one call. Record i is exactly what
+// Annotate(jobs[i]) would produce — the model is read once for the whole
+// batch (retrains never happen mid-flush), every per-record computation
+// is pure, and results land by index — so the parallel feed path stays
+// byte-identical to the serial one.
+func (a *Annotator) AnnotateBatch(jobs []Job, workers int) ([]feed.Record, []error) {
+	recs := make([]feed.Record, len(jobs))
+	errs := make([]error, len(jobs))
+	needModel := make([]bool, len(jobs))
+	a.mu.RLock()
+	m := a.model
+	a.mu.RUnlock()
+
+	prepare := func(i int) {
+		j := &jobs[i]
+		if j.RawErr != nil {
+			errs[i] = fmt.Errorf("annotate %s: %w", j.Batch.IPString, j.RawErr)
+			return
 		}
-		rec.Vendor = match.Vendor
-		rec.DeviceType = match.Type
-		rec.Model = match.Model
-		rec.Firmware = match.Firmware
-	default:
-		a.mu.RLock()
-		m := a.model
-		a.mu.RUnlock()
-		if m != nil {
-			metClassified.With("model").Inc()
-			score := m.Classifier.PredictProba(m.Normalizer.Apply(raw))
-			rec.Score = score
-			rec.LabelSource = feed.SourceModel
-			if score >= 0.5 {
+		if j.Raw == nil {
+			raw, err := features.RawVector(j.Batch.Sample)
+			if err != nil {
+				errs[i] = fmt.Errorf("annotate %s: %w", j.Batch.IPString, err)
+				return
+			}
+			j.Raw = raw
+		}
+		rec := feed.Record{
+			IP:         j.Batch.IPString,
+			FirstSeen:  j.Batch.FirstSeen,
+			DetectedAt: j.Batch.DetectedAt,
+			LastSeen:   lastSeen(j.Batch),
+			Active:     true,
+		}
+		if j.Scan != nil {
+			rec.OpenPorts = j.Scan.OpenPorts
+			rec.Banners = j.Scan.Banners
+		}
+		switch {
+		case j.Match != nil:
+			metClassified.With("banner").Inc()
+			rec.LabelSource = feed.SourceBanner
+			if j.Match.IoT {
 				rec.Label = feed.LabelIoT
+				rec.Score = 1
 			} else {
 				rec.Label = feed.LabelNonIoT
+				rec.Score = 0
 			}
-		} else {
+			rec.Vendor = j.Match.Vendor
+			rec.DeviceType = j.Match.Type
+			rec.Model = j.Match.Model
+			rec.Firmware = j.Match.Firmware
+		case m != nil:
+			needModel[i] = true
+		default:
 			// Bootstrap: no model yet; stay conservative.
 			metClassified.With("none").Inc()
 			rec.Label = feed.LabelNonIoT
 			rec.Score = 0.5
 			rec.LabelSource = SourceNone
 		}
+		a.enricher.Annotate(&rec, j.Batch.IP, j.Batch.Sample)
+		recs[i] = rec
+	}
+	runIndexed(len(jobs), workers, prepare)
+
+	// Model inference for the unlabeled flows, batched through the
+	// flattened forest when available.
+	if m != nil {
+		var idx []int
+		for i := range jobs {
+			if needModel[i] {
+				idx = append(idx, i)
+			}
+		}
+		if len(idx) > 0 {
+			X := make([][]float64, len(idx))
+			backing := make([]float64, len(idx)*features.Dim)
+			for k, i := range idx {
+				dst := backing[k*features.Dim : k*features.Dim : (k+1)*features.Dim]
+				X[k] = m.Normalizer.ApplyInto(dst, jobs[i].Raw)
+			}
+			scores := make([]float64, len(idx))
+			if bc, ok := m.Classifier.(ml.BatchClassifier); ok {
+				scores = bc.PredictProbaBatch(X, scores)
+			} else {
+				for k, x := range X {
+					scores[k] = m.Classifier.PredictProba(x)
+				}
+			}
+			for k, i := range idx {
+				metClassified.With("model").Inc()
+				rec := &recs[i]
+				rec.Score = scores[k]
+				rec.LabelSource = feed.SourceModel
+				if scores[k] >= 0.5 {
+					rec.Label = feed.LabelIoT
+				} else {
+					rec.Label = feed.LabelNonIoT
+				}
+			}
+		}
 	}
 
-	if rec.Label == feed.LabelNonIoT && rec.DeviceType == "" {
-		// The paper's latency experiment shows non-IoT sources surfacing
-		// as "Desktop (non-IoT)" with the detected tool.
-		rec.DeviceType = string(device.TypeDesktop)
+	for i := range recs {
+		if errs[i] != nil {
+			continue
+		}
+		if recs[i].Label == feed.LabelNonIoT && recs[i].DeviceType == "" {
+			// The paper's latency experiment shows non-IoT sources
+			// surfacing as "Desktop (non-IoT)" with the detected tool.
+			recs[i].DeviceType = string(device.TypeDesktop)
+		}
 	}
+	return recs, errs
+}
 
-	a.enricher.Annotate(&rec, b.IP, b.Sample)
-	return rec, nil
+// runIndexed runs fn(0..n-1) across up to workers goroutines (serially
+// on the caller's goroutine when workers <= 1).
+func runIndexed(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
 }
 
 func lastSeen(b *organizer.Batch) time.Time {

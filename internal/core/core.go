@@ -24,10 +24,11 @@ type Config struct {
 	Pipeline pipeline.LocalConfig
 	// APIKeys maps token → client name for the REST API.
 	APIKeys map[string]string
-	// Workers, when non-zero, overrides the ingest worker count for both
-	// traffic generation (World.Workers) and TRW detection
-	// (Pipeline.Workers). 1 = exact legacy serial path; results are
-	// identical at any setting.
+	// Workers, when non-zero, overrides the worker count for traffic
+	// generation (World.Workers), TRW detection (Pipeline.Workers), and —
+	// via the pipeline — the feed back half's classify/probe/annotate
+	// pool (Pipeline.Server.Workers). 1 = exact legacy serial path;
+	// results are identical at any setting.
 	Workers int
 }
 

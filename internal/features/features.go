@@ -8,7 +8,7 @@ package features
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"exiot/internal/packet"
 )
@@ -109,13 +109,33 @@ func b2f(b bool) float64 {
 // sampled packet sequence: for each Table II field, the min, first
 // quartile, median, third quartile, and max across the sample.
 func RawVector(sample []packet.Packet) ([]float64, error) {
+	var s Scratch
+	return s.RawVectorInto(nil, sample)
+}
+
+// Scratch holds the reusable working buffers of flow-vector extraction
+// (the per-field value columns). A worker that extracts many vectors
+// keeps one Scratch and calls RawVectorInto repeatedly; after the first
+// call the extraction itself is allocation-free. A Scratch must not be
+// shared between goroutines.
+type Scratch struct {
+	columns [NumFields][]float64
+}
+
+// RawVectorInto computes the flow vector into dst (grown when its
+// capacity is below Dim) and returns it. The result is identical to
+// RawVector's; only the allocation behaviour differs. The returned slice
+// aliases dst, never the scratch buffers, so it is safe to retain.
+func (s *Scratch) RawVectorInto(dst []float64, sample []packet.Packet) ([]float64, error) {
 	if len(sample) == 0 {
 		return nil, fmt.Errorf("features: empty sample")
 	}
-	// columns[f] collects field f's values across the sample.
-	var columns [NumFields][]float64
-	for f := range columns {
-		columns[f] = make([]float64, len(sample))
+	n := len(sample)
+	for f := range s.columns {
+		if cap(s.columns[f]) < n {
+			s.columns[f] = make([]float64, n)
+		}
+		s.columns[f] = s.columns[f][:n]
 	}
 	var fields [NumFields]float64
 	for i := range sample {
@@ -128,22 +148,26 @@ func RawVector(sample []packet.Packet) ([]float64, error) {
 		}
 		PacketFields(&sample[i], &fields, ia)
 		for f := 0; f < NumFields; f++ {
-			columns[f][i] = fields[f]
+			s.columns[f][i] = fields[f]
 		}
 	}
 
-	out := make([]float64, 0, Dim)
+	if cap(dst) < Dim {
+		dst = make([]float64, 0, Dim)
+	}
+	dst = dst[:0]
 	for f := 0; f < NumFields; f++ {
-		sort.Float64s(columns[f])
-		out = append(out,
-			columns[f][0],
-			quantileSorted(columns[f], 0.25),
-			quantileSorted(columns[f], 0.50),
-			quantileSorted(columns[f], 0.75),
-			columns[f][len(columns[f])-1],
+		col := s.columns[f]
+		slices.Sort(col)
+		dst = append(dst,
+			col[0],
+			quantileSorted(col, 0.25),
+			quantileSorted(col, 0.50),
+			quantileSorted(col, 0.75),
+			col[n-1],
 		)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // quantileSorted returns the q-quantile of sorted values with linear
@@ -220,11 +244,21 @@ func (n *Normalizer) scale(j int, x float64) float64 {
 // returned). Values outside the training range extrapolate linearly, as
 // MinMax scaling does at inference time.
 func (n *Normalizer) Apply(raw []float64) []float64 {
-	out := make([]float64, len(raw))
-	for j, x := range raw {
-		out[j] = n.scale(j, x) - n.Mean[j]
+	return n.ApplyInto(nil, raw)
+}
+
+// ApplyInto normalizes raw into dst (grown when too small) and returns
+// it, letting hot paths reuse a scratch buffer instead of allocating per
+// flow. dst may not alias raw.
+func (n *Normalizer) ApplyInto(dst, raw []float64) []float64 {
+	if cap(dst) < len(raw) {
+		dst = make([]float64, len(raw))
 	}
-	return out
+	dst = dst[:len(raw)]
+	for j, x := range raw {
+		dst[j] = n.scale(j, x) - n.Mean[j]
+	}
+	return dst
 }
 
 // ApplyAll normalizes a batch of raw vectors.

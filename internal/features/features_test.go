@@ -285,3 +285,77 @@ func mean(xs []float64) float64 {
 	}
 	return s / float64(len(xs))
 }
+
+// TestRawVectorIntoMatchesRawVector proves scratch reuse is a pure
+// allocation optimization: outputs must be identical, call after call.
+func TestRawVectorIntoMatchesRawVector(t *testing.T) {
+	var s Scratch
+	dst := make([]float64, 0, Dim)
+	for _, n := range []int{1, 3, 50, 200} {
+		sample := sampleFlow(n, 250*time.Millisecond)
+		want, err := RawVector(sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var gotErr error
+		dst, gotErr = s.RawVectorInto(dst, sample)
+		if gotErr != nil {
+			t.Fatal(gotErr)
+		}
+		if len(dst) != len(want) {
+			t.Fatalf("n=%d: length %d, want %d", n, len(dst), len(want))
+		}
+		for j := range want {
+			if dst[j] != want[j] {
+				t.Fatalf("n=%d dim %d: scratch %v != fresh %v", n, j, dst[j], want[j])
+			}
+		}
+	}
+}
+
+// TestRawVectorIntoZeroAlloc is the allocation-regression guard for the
+// classify stage's feature-extraction prework: with a warmed scratch and
+// a preallocated destination, extraction must not allocate.
+func TestRawVectorIntoZeroAlloc(t *testing.T) {
+	sample := sampleFlow(200, 250*time.Millisecond)
+	var s Scratch
+	dst := make([]float64, 0, Dim)
+	var err error
+	if dst, err = s.RawVectorInto(dst, sample); err != nil { // warm the columns
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		if dst, err = s.RawVectorInto(dst, sample); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("RawVectorInto allocates %.1f objects/op with warm scratch, want 0", allocs)
+	}
+}
+
+// TestApplyIntoMatchesApplyAndZeroAlloc covers the normalizer's scratch
+// form: identical output, no allocations with a preallocated buffer.
+func TestApplyIntoMatchesApplyAndZeroAlloc(t *testing.T) {
+	sample := sampleFlow(40, 100*time.Millisecond)
+	raw, err := RawVector(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := FitNormalizer([][]float64{raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := n.Apply(raw)
+	dst := make([]float64, Dim)
+	got := n.ApplyInto(dst, raw)
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("dim %d: ApplyInto %v != Apply %v", j, got[j], want[j])
+		}
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		n.ApplyInto(dst, raw)
+	}); allocs != 0 {
+		t.Errorf("ApplyInto allocates %.1f objects/op, want 0", allocs)
+	}
+}

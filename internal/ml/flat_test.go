@@ -1,0 +1,103 @@
+package ml
+
+import (
+	"testing"
+)
+
+// flatTestForest trains a moderately sized forest over a synthetic
+// two-class dataset (same shape the annotate hot path sees).
+func flatTestForest(t testing.TB, trees int) (*Forest, *Dataset) {
+	t.Helper()
+	var ds Dataset
+	const dim = 120
+	for i := 0; i < 300; i++ {
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = float64((i*7+j*13)%101) / 101
+			if i%2 == 1 {
+				x[j] += 1.2
+			}
+		}
+		ds.Append(x, i%2)
+	}
+	return TrainForest(&ds, ForestConfig{NumTrees: trees, Seed: 42}), &ds
+}
+
+// TestFlattenPredictionsIdentical proves the arena layout is a pure
+// re-layout: every score is bit-identical to the pointer forest's.
+func TestFlattenPredictionsIdentical(t *testing.T) {
+	forest, ds := flatTestForest(t, 50)
+	flat := forest.Flatten()
+	if flat.NumTrees() != len(forest.Trees) {
+		t.Fatalf("NumTrees = %d, want %d", flat.NumTrees(), len(forest.Trees))
+	}
+	wantNodes := 0
+	for _, tr := range forest.Trees {
+		wantNodes += len(tr.Nodes)
+	}
+	if len(flat.Nodes) != wantNodes {
+		t.Fatalf("arena holds %d nodes, trees hold %d", len(flat.Nodes), wantNodes)
+	}
+	for i, x := range ds.X {
+		want := forest.PredictProba(x)
+		got := flat.PredictProba(x)
+		if got != want {
+			t.Fatalf("sample %d: flat %v != pointer %v (must be bit-identical)", i, got, want)
+		}
+	}
+}
+
+// TestPredictProbaBatchMatchesSingle proves batch inference is exactly
+// the per-row scores, and that a preallocated out slice is reused.
+func TestPredictProbaBatchMatchesSingle(t *testing.T) {
+	forest, ds := flatTestForest(t, 30)
+	flat := forest.Flatten()
+
+	out := make([]float64, 0, len(ds.X))
+	got := flat.PredictProbaBatch(ds.X, out)
+	if len(got) != len(ds.X) {
+		t.Fatalf("batch returned %d scores for %d rows", len(got), len(ds.X))
+	}
+	if &got[0] != &out[:1][0] {
+		t.Error("batch did not reuse the preallocated out slice")
+	}
+	for i, x := range ds.X {
+		if want := flat.PredictProba(x); got[i] != want {
+			t.Fatalf("row %d: batch %v != single %v", i, got[i], want)
+		}
+	}
+
+	// A short out slice must be grown, not panic.
+	grown := flat.PredictProbaBatch(ds.X[:5], nil)
+	if len(grown) != 5 {
+		t.Fatalf("grown batch has %d rows, want 5", len(grown))
+	}
+}
+
+// TestFlatForestPredictZeroAlloc is the allocation-regression guard for
+// the classification hot path: scoring must not allocate.
+func TestFlatForestPredictZeroAlloc(t *testing.T) {
+	forest, ds := flatTestForest(t, 30)
+	flat := forest.Flatten()
+	x := ds.X[0]
+	if allocs := testing.AllocsPerRun(100, func() {
+		flat.PredictProba(x)
+	}); allocs != 0 {
+		t.Errorf("FlatForest.PredictProba allocates %.1f objects/op, want 0", allocs)
+	}
+
+	out := make([]float64, len(ds.X))
+	if allocs := testing.AllocsPerRun(20, func() {
+		flat.PredictProbaBatch(ds.X, out)
+	}); allocs != 0 {
+		t.Errorf("FlatForest.PredictProbaBatch allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestFlattenEmptyForest covers the degenerate case.
+func TestFlattenEmptyForest(t *testing.T) {
+	flat := (&Forest{}).Flatten()
+	if got := flat.PredictProba([]float64{1, 2}); got != 0 {
+		t.Errorf("empty forest scored %v, want 0", got)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"exiot/internal/packet"
@@ -32,6 +33,21 @@ var (
 		"Hourly capture files published (atomic rename completed).")
 	metHoursOpened = telemetry.Default().Counter("exiot_pcap_hours_read_total",
 		"Hourly capture files opened for reading.")
+)
+
+// bufSize is the buffered-I/O window for capture streams.
+const bufSize = 1 << 16
+
+// Hourly capture churn is one open/close per simulated hour per stream,
+// and each open used to allocate a fresh 64 KiB bufio buffer plus a gzip
+// coder (the gzip.Writer alone carries ~800 KiB of deflate state). The
+// pools below recycle them across hours; Reset on the way out of the
+// pool makes reuse indistinguishable from a fresh allocation.
+var (
+	bufWriterPool = sync.Pool{New: func() any { return bufio.NewWriterSize(io.Discard, bufSize) }}
+	bufReaderPool = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, bufSize) }}
+	gzWriterPool  = sync.Pool{New: func() any { return gzip.NewWriter(io.Discard) }}
+	gzReaderPool  = sync.Pool{New: func() any { return new(gzip.Reader) }}
 )
 
 const (
@@ -54,7 +70,10 @@ type Writer struct {
 
 // NewWriter writes the pcap global header and returns a Writer.
 func NewWriter(w io.Writer) (*Writer, error) {
-	bw := bufio.NewWriterSize(w, 1<<16)
+	return newWriterBuf(bufio.NewWriterSize(w, bufSize))
+}
+
+func newWriterBuf(bw *bufio.Writer) (*Writer, error) {
 	var hdr [24]byte
 	binary.LittleEndian.PutUint32(hdr[0:], magicNumber)
 	binary.LittleEndian.PutUint16(hdr[4:], versionMajor)
@@ -108,7 +127,10 @@ type Reader struct {
 
 // NewReader validates the pcap global header and returns a Reader.
 func NewReader(r io.Reader) (*Reader, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
+	return newReaderBuf(bufio.NewReaderSize(r, bufSize))
+}
+
+func newReaderBuf(br *bufio.Reader) (*Reader, error) {
 	var hdr [24]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("pcap header: %w", err)
@@ -188,9 +210,14 @@ func CreateHour(dir string, hour time.Time) (*HourWriter, error) {
 	if err != nil {
 		return nil, fmt.Errorf("create hour capture: %w", err)
 	}
-	gz := gzip.NewWriter(f)
-	w, err := NewWriter(gz)
+	gz := gzWriterPool.Get().(*gzip.Writer)
+	gz.Reset(f)
+	bw := bufWriterPool.Get().(*bufio.Writer)
+	bw.Reset(gz)
+	w, err := newWriterBuf(bw)
 	if err != nil {
+		gzWriterPool.Put(gz)
+		bufWriterPool.Put(bw)
 		f.Close()
 		return nil, err
 	}
@@ -207,6 +234,13 @@ func (hw *HourWriter) Close() error {
 	if err := hw.gz.Close(); err != nil {
 		return fmt.Errorf("close gzip: %w", err)
 	}
+	// Recycle the coder and buffer; drop references to the closed file
+	// first so pooled objects never pin it. Error paths above skip the
+	// Put — a writer in a failed state must not be reused.
+	hw.Writer.w.Reset(io.Discard)
+	bufWriterPool.Put(hw.Writer.w)
+	hw.gz.Reset(io.Discard)
+	gzWriterPool.Put(hw.gz)
 	if err := hw.f.Close(); err != nil {
 		return fmt.Errorf("close capture: %w", err)
 	}
@@ -235,14 +269,19 @@ func OpenFile(path string) (*HourReader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("open capture: %w", err)
 	}
-	gz, err := gzip.NewReader(f)
-	if err != nil {
+	gz := gzReaderPool.Get().(*gzip.Reader)
+	if err := gz.Reset(f); err != nil {
+		gzReaderPool.Put(gz)
 		f.Close()
 		return nil, fmt.Errorf("open gzip: %w", err)
 	}
-	r, err := NewReader(gz)
+	br := bufReaderPool.Get().(*bufio.Reader)
+	br.Reset(gz)
+	r, err := newReaderBuf(br)
 	if err != nil {
+		bufReaderPool.Put(br)
 		gz.Close()
+		gzReaderPool.Put(gz)
 		f.Close()
 		return nil, err
 	}
@@ -250,9 +289,14 @@ func OpenFile(path string) (*HourReader, error) {
 	return &HourReader{f: f, gz: gz, Reader: r}, nil
 }
 
-// Close closes the capture file.
+// Close closes the capture file and recycles the stream buffers.
 func (hr *HourReader) Close() error {
 	gzErr := hr.gz.Close()
+	hr.Reader.r.Reset(nil)
+	bufReaderPool.Put(hr.Reader.r)
+	if gzErr == nil {
+		gzReaderPool.Put(hr.gz)
+	}
 	if err := hr.f.Close(); err != nil {
 		return err
 	}

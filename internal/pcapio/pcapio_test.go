@@ -3,6 +3,7 @@ package pcapio
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"io"
 	"math/rand"
 	"os"
@@ -212,5 +213,114 @@ func TestOpenFileErrors(t *testing.T) {
 	}
 	if _, err := OpenFile(path); err == nil {
 		t.Error("want error for non-gzip file")
+	}
+}
+
+// TestPooledHourRoundTrip exercises the pooled gzip/bufio buffers: many
+// sequential open/write/close cycles through the same pool objects must
+// reproduce every packet exactly — a stale buffer or leaked coder state
+// would corrupt a later hour.
+func TestPooledHourRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := rand.New(rand.NewSource(31))
+	base := time.Date(2020, 12, 9, 0, 0, 0, 0, time.UTC)
+	for round := 0; round < 5; round++ {
+		hour := base.Add(time.Duration(round) * time.Hour)
+		want := make([]packet.Packet, 50+round*37)
+		hw, err := CreateHour(dir, hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			want[i] = randomPacket(r, hour.Add(time.Duration(i)*time.Second))
+			if err := hw.WritePacket(&want[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := hw.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		hr, err := OpenHour(dir, hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			var got packet.Packet
+			if err := hr.Next(&got); err != nil {
+				t.Fatalf("round %d packet %d: %v", round, i, err)
+			}
+			if got != want[i] {
+				t.Fatalf("round %d packet %d mismatch:\n got  %+v\n want %+v", round, i, got, want[i])
+			}
+		}
+		var extra packet.Packet
+		if err := hr.Next(&extra); !errors.Is(err, io.EOF) {
+			t.Fatalf("round %d: want EOF after %d packets, got %v", round, len(want), err)
+		}
+		if err := hr.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPooledHourConcurrent proves the pools are goroutine-safe: parallel
+// writers and readers in separate directories must never observe each
+// other's buffers.
+func TestPooledHourConcurrent(t *testing.T) {
+	base := time.Date(2020, 12, 10, 0, 0, 0, 0, time.UTC)
+	const goroutines = 4
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			dir := t.TempDir()
+			r := rand.New(rand.NewSource(int64(100 + g)))
+			for round := 0; round < 3; round++ {
+				hour := base.Add(time.Duration(round) * time.Hour)
+				want := make([]packet.Packet, 80)
+				hw, err := CreateHour(dir, hour)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := range want {
+					want[i] = randomPacket(r, hour.Add(time.Duration(i)*time.Second))
+					if err := hw.WritePacket(&want[i]); err != nil {
+						errs <- err
+						return
+					}
+				}
+				if err := hw.Close(); err != nil {
+					errs <- err
+					return
+				}
+				hr, err := OpenHour(dir, hour)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := range want {
+					var got packet.Packet
+					if err := hr.Next(&got); err != nil {
+						errs <- fmt.Errorf("worker %d round %d packet %d: %w", g, round, i, err)
+						return
+					}
+					if got != want[i] {
+						errs <- fmt.Errorf("worker %d round %d packet %d mismatch", g, round, i)
+						return
+					}
+				}
+				if err := hr.Close(); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
 	}
 }

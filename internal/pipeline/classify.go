@@ -1,0 +1,190 @@
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"exiot/internal/features"
+	"exiot/internal/telemetry"
+)
+
+// Telemetry handles for the classify stage's worker pool (see
+// docs/OPERATIONS.md). Queue depth counts events accepted but not yet
+// picked up by a worker; in-flight counts events a worker is currently
+// pre-processing; reorder-waiting counts completed events parked in the
+// reorder buffer because an earlier sequence number is still in flight —
+// a persistently high value means one slow event is stalling emission.
+var (
+	metClassifyQueueDepth = telemetry.Default().Gauge("exiot_classify_queue_depth",
+		"Sampler events queued for the classify worker pool.")
+	metClassifyInflight = telemetry.Default().Gauge("exiot_classify_inflight",
+		"Sampler events currently being pre-processed by classify workers.")
+	metClassifyReorderWaiting = telemetry.Default().Gauge("exiot_classify_reorder_waiting",
+		"Completed events held in the reorder buffer awaiting an earlier sequence number.")
+)
+
+// classifyJob is one sampler event moving through the stage.
+type classifyJob struct {
+	seq         uint64
+	e           SamplerEvent
+	availableAt time.Time
+	// Worker-computed feature vector for SamplerBatch events.
+	raw    []float64
+	rawErr error
+}
+
+// ClassifyStage is the parallel back half's front door: a bounded worker
+// pool that pre-processes sampler events concurrently, and a reorder
+// buffer that re-serializes the results so the feed server consumes them
+// in exact arrival order.
+//
+// Every event is stamped with a monotone sequence number at Enqueue.
+// Workers perform only the order-invariant pure work — extracting the
+// 120-dim Table II feature vector from a sampled flow (the dominant
+// per-event cost, and independent of any pipeline state). All stateful
+// work (scan-module batching, model application, trainer window, store
+// inserts, counters) happens downstream in handlePrepared, which the
+// drain goroutine calls strictly in sequence order. The server therefore
+// observes exactly the event stream the serial path would have produced,
+// and the feed is byte-identical at any worker count.
+type ClassifyStage struct {
+	server  *Server
+	workers int
+
+	in chan *classifyJob
+	wg sync.WaitGroup
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  map[uint64]*classifyJob // completed, awaiting their turn
+	nextSeq  uint64                  // next sequence number to emit
+	enqueued uint64                  // next sequence number to assign
+	emitted  uint64                  // events handed to the server
+	closed   bool
+
+	drainDone chan struct{}
+}
+
+// NewClassifyStage starts a stage with the given worker count
+// (0 = GOMAXPROCS) feeding the server. Callers must Close it when done.
+func NewClassifyStage(server *Server, workers int) *ClassifyStage {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	st := &ClassifyStage{
+		server: server,
+		// A few jobs of slack per worker: enough to keep the pool busy
+		// across uneven events, small enough that detection feels
+		// backpressure instead of buffering a whole hour.
+		in:        make(chan *classifyJob, workers*4),
+		workers:   workers,
+		pending:   make(map[uint64]*classifyJob),
+		drainDone: make(chan struct{}),
+	}
+	st.cond = sync.NewCond(&st.mu)
+	for i := 0; i < workers; i++ {
+		st.wg.Add(1)
+		go st.worker()
+	}
+	go st.drain()
+	return st
+}
+
+// Enqueue submits one sampler event. Events are emitted to the server in
+// Enqueue order regardless of which worker finishes first. Blocks when
+// the queue is full (backpressure on detection). Safe for concurrent
+// producers: the sequence order is the lock-acquisition order. After
+// Close, events bypass the pool and go straight to the server.
+func (st *ClassifyStage) Enqueue(e SamplerEvent, availableAt time.Time) {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		st.server.HandleEvent(e, availableAt)
+		return
+	}
+	job := &classifyJob{seq: st.enqueued, e: e, availableAt: availableAt}
+	st.enqueued++
+	metClassifyQueueDepth.Add(1)
+	st.mu.Unlock()
+	st.in <- job
+}
+
+// worker pulls jobs and runs the pure pre-computation.
+func (st *ClassifyStage) worker() {
+	defer st.wg.Done()
+	var scratch features.Scratch
+	for job := range st.in {
+		metClassifyQueueDepth.Add(-1)
+		metClassifyInflight.Add(1)
+		if job.e.Kind == SamplerBatch {
+			// One allocation per event for the vector itself — it is
+			// retained downstream (the trainer keeps banner-labeled
+			// vectors) — but the extraction scratch is reused.
+			job.raw, job.rawErr = scratch.RawVectorInto(nil, job.e.Batch.Sample)
+		}
+		metClassifyInflight.Add(-1)
+		st.mu.Lock()
+		st.pending[job.seq] = job
+		metClassifyReorderWaiting.Set(float64(len(st.pending)))
+		st.cond.Broadcast()
+		st.mu.Unlock()
+	}
+}
+
+// drain emits completed jobs in sequence order on a single goroutine.
+func (st *ClassifyStage) drain() {
+	defer close(st.drainDone)
+	for {
+		st.mu.Lock()
+		for st.pending[st.nextSeq] == nil && !(st.closed && st.emitted == st.enqueued) {
+			st.cond.Wait()
+		}
+		job := st.pending[st.nextSeq]
+		if job == nil { // closed and fully drained
+			st.mu.Unlock()
+			return
+		}
+		delete(st.pending, st.nextSeq)
+		st.nextSeq++
+		metClassifyReorderWaiting.Set(float64(len(st.pending)))
+		st.mu.Unlock()
+
+		st.server.handlePrepared(job.e, job.raw, job.rawErr, job.availableAt)
+
+		st.mu.Lock()
+		st.emitted++
+		st.cond.Broadcast()
+		st.mu.Unlock()
+	}
+}
+
+// Drain blocks until every event enqueued so far has been emitted to the
+// server. This is the barrier between an hour's detection pass and the
+// server's end-of-hour Tick.
+func (st *ClassifyStage) Drain() {
+	st.mu.Lock()
+	for st.emitted != st.enqueued {
+		st.cond.Wait()
+	}
+	st.mu.Unlock()
+}
+
+// Close drains the stage and stops its goroutines. Idempotent; later
+// Enqueue calls fall through to the serial path.
+func (st *ClassifyStage) Close() {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		<-st.drainDone
+		return
+	}
+	st.closed = true
+	st.mu.Unlock()
+	close(st.in)
+	st.wg.Wait()
+	st.mu.Lock()
+	st.cond.Broadcast() // wake drain in case everything already emitted
+	st.mu.Unlock()
+	<-st.drainDone
+}

@@ -1,0 +1,176 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"exiot/internal/notify"
+	"exiot/internal/scanmod"
+	"exiot/internal/simnet"
+	"exiot/internal/trainer"
+	"exiot/internal/trw"
+)
+
+// stampedEvent is one captured sampler event plus its availability time.
+type stampedEvent struct {
+	e  SamplerEvent
+	at time.Time
+}
+
+// captureBackHalf runs the serial sampler over a small world and records
+// the exact event stream the feed server would consume, with the same
+// availability stamps Local would apply. Capturing once and replaying
+// into differently configured servers isolates the back half: any feed
+// difference is the classify stage's fault, not the detector's.
+func captureBackHalf(tb testing.TB, seed int64, hours int) ([]stampedEvent, *simnet.World) {
+	tb.Helper()
+	cfg := simnet.DefaultConfig(seed)
+	cfg.NumInfected = 120
+	cfg.NumNonIoT = 25
+	cfg.NumResearch = 3
+	cfg.NumMisconfig = 15
+	cfg.NumBackscat = 5
+	cfg.Days = (hours + 23) / 24
+	cfg.MaxPacketsPerHostHour = 1200
+	w := simnet.NewWorld(cfg)
+
+	delay := DefaultLocalConfig().CollectionDelay + DefaultLocalConfig().ProcessingDelay
+	var events []stampedEvent
+	var at time.Time
+	sampler := NewSamplerWorkers(trw.Default(), 0, 1, func(e SamplerEvent) {
+		events = append(events, stampedEvent{e: e, at: at})
+	})
+	start := w.Start()
+	for h := 0; h < hours; h++ {
+		hour := start.Add(time.Duration(h) * time.Hour)
+		at = hour.Add(time.Hour).Add(delay)
+		sampler.ProcessHour(w.GenerateHour(hour), hour.Add(time.Hour))
+	}
+	end := start.Add(time.Duration(hours) * time.Hour)
+	at = end.Add(delay)
+	sampler.Flush(end)
+	if len(events) == 0 {
+		tb.Fatal("sampler produced no events")
+	}
+	return events, w
+}
+
+// replayBackHalf drives a captured event stream into a fresh server —
+// directly when workers == 1, through a ClassifyStage otherwise.
+func replayBackHalf(tb testing.TB, seed int64, hours, workers int) *Server {
+	tb.Helper()
+	events, w := captureBackHalf(tb, seed, hours)
+	scfg := DefaultServerConfig()
+	scfg.ScanMod = scanmod.Config{BatchSize: 25, BatchWait: 30 * time.Minute}
+	scfg.Trainer = trainer.Config{SearchIterations: 2, Seed: seed}
+	scfg.Workers = workers
+	srv := NewServer(scfg, w, w.Registry(), &notify.MemoryMailer{})
+	if workers > 1 {
+		stage := NewClassifyStage(srv, workers)
+		for _, se := range events {
+			stage.Enqueue(se.e, se.at)
+		}
+		stage.Close()
+	} else {
+		for _, se := range events {
+			srv.HandleEvent(se.e, se.at)
+		}
+	}
+	last := events[len(events)-1].at
+	srv.FlushScans(last)
+	srv.Tick(last)
+	return srv
+}
+
+// TestClassifyStageFeedEquivalence is the back half's determinism proof:
+// the same event stream through the parallel classify stage must yield a
+// feed byte-identical to the serial path — records, order, and lifetime
+// counters alike.
+func TestClassifyStageFeedEquivalence(t *testing.T) {
+	const seed, hours = 210, 10
+	serial := replayBackHalf(t, seed, hours, 1)
+	parallel := replayBackHalf(t, seed, hours, 4)
+
+	sRecs := serial.Historical().Find(nil)
+	pRecs := parallel.Historical().Find(nil)
+	if len(sRecs) == 0 {
+		t.Fatal("serial replay produced no records")
+	}
+	if len(pRecs) != len(sRecs) {
+		t.Fatalf("historical size differs: workers=4 got %d, workers=1 got %d", len(pRecs), len(sRecs))
+	}
+	for i := range sRecs {
+		if !reflect.DeepEqual(pRecs[i], sRecs[i]) {
+			t.Fatalf("historical record %d differs:\n workers=4: %+v\n workers=1: %+v", i, pRecs[i], sRecs[i])
+		}
+	}
+	if s, p := serial.latest.Find(nil), parallel.latest.Find(nil); !reflect.DeepEqual(s, p) {
+		t.Errorf("latest DB differs: workers=4 has %d records, workers=1 has %d", len(p), len(s))
+	}
+	if s, p := serial.Counters(), parallel.Counters(); s != p {
+		t.Errorf("counters differ:\n workers=4: %+v\n workers=1: %+v", p, s)
+	}
+}
+
+// TestClassifyStageDrainBarrier proves Drain is a complete barrier: every
+// enqueued event has reached the server before Drain returns, and the
+// stage gauges settle back to zero.
+func TestClassifyStageDrainBarrier(t *testing.T) {
+	events, w := captureBackHalf(t, 211, 4)
+	scfg := DefaultServerConfig()
+	scfg.ScanMod = scanmod.Config{BatchSize: 25, BatchWait: 30 * time.Minute}
+	scfg.Workers = 4
+	srv := NewServer(scfg, w, w.Registry(), nil)
+	stage := NewClassifyStage(srv, 4)
+	defer stage.Close()
+
+	reports := 0
+	for _, se := range events {
+		if se.e.Kind == SamplerReport {
+			reports++
+		}
+		stage.Enqueue(se.e, se.at)
+	}
+	stage.Drain()
+	if got := srv.Counters().Reports; got != int64(reports) {
+		t.Errorf("after Drain server saw %d reports, enqueued %d", got, reports)
+	}
+	if v := metClassifyQueueDepth.Value(); v != 0 {
+		t.Errorf("queue depth gauge = %v after Drain, want 0", v)
+	}
+	if v := metClassifyInflight.Value(); v != 0 {
+		t.Errorf("in-flight gauge = %v after Drain, want 0", v)
+	}
+	if v := metClassifyReorderWaiting.Value(); v != 0 {
+		t.Errorf("reorder-waiting gauge = %v after Drain, want 0", v)
+	}
+}
+
+// TestClassifyStageCloseFallback proves Close is idempotent and that a
+// late Enqueue still reaches the server via the serial fallback.
+func TestClassifyStageCloseFallback(t *testing.T) {
+	events, w := captureBackHalf(t, 212, 2)
+	scfg := DefaultServerConfig()
+	scfg.Workers = 2
+	srv := NewServer(scfg, w, w.Registry(), nil)
+	stage := NewClassifyStage(srv, 2)
+	stage.Close()
+	stage.Close() // idempotent
+
+	var report stampedEvent
+	for _, se := range events {
+		if se.e.Kind == SamplerReport {
+			report = se
+			break
+		}
+	}
+	if report.e.Kind == 0 {
+		t.Skip("no report event in capture")
+	}
+	before := srv.Counters().Reports
+	stage.Enqueue(report.e, report.at)
+	if got := srv.Counters().Reports; got != before+1 {
+		t.Errorf("post-Close Enqueue: server saw %d reports, want %d", got, before+1)
+	}
+}

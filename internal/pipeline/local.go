@@ -19,8 +19,10 @@ type LocalConfig struct {
 
 	// Workers sets the detection worker count: 0 = GOMAXPROCS,
 	// 1 = the exact legacy serial path, >1 = that many detector shards.
-	// The event stream (and therefore the feed) is identical at any
-	// setting; only throughput changes.
+	// Unless Server.Workers is set explicitly, the same count drives the
+	// back half: the classify stage's worker pool, the ZMap probe pool,
+	// and the annotate fan-out. The event stream (and therefore the feed)
+	// is identical at any setting; only throughput changes.
 	Workers int
 
 	// CollectionDelay models CAIDA's collect/compress/store lag before an
@@ -49,6 +51,9 @@ type Local struct {
 	cfg     LocalConfig
 	sampler *Sampler
 	server  *Server
+	// stage is the classify worker pool (nil on the serial path, where
+	// sampler events go straight to the server).
+	stage *ClassifyStage
 
 	availableAt time.Time
 }
@@ -61,11 +66,25 @@ func NewLocal(cfg LocalConfig, prober zmap.Prober, reg *registry.Registry, maile
 	if cfg.ProcessingDelay == 0 {
 		cfg.ProcessingDelay = DefaultLocalConfig().ProcessingDelay
 	}
+	if cfg.Server.Workers == 0 {
+		cfg.Server.Workers = cfg.Workers
+	}
 	l := &Local{cfg: cfg}
 	l.server = NewServer(cfg.Server, prober, reg, mailer)
-	l.sampler = NewSamplerWorkers(cfg.TRW, cfg.MinSamples, cfg.Workers, func(e SamplerEvent) {
+	emit := func(e SamplerEvent) {
 		l.server.HandleEvent(e, l.availableAt)
-	})
+	}
+	// One knob for the whole back half: with more than one effective
+	// worker, sampler events route through the classify stage, which
+	// pre-processes them concurrently and re-serializes by sequence
+	// number — the server sees the identical event order either way.
+	if l.server.workers > 1 {
+		l.stage = NewClassifyStage(l.server, l.server.workers)
+		emit = func(e SamplerEvent) {
+			l.stage.Enqueue(e, l.availableAt)
+		}
+	}
+	l.sampler = NewSamplerWorkers(cfg.TRW, cfg.MinSamples, cfg.Workers, emit)
 	return l
 }
 
@@ -77,6 +96,9 @@ func (l *Local) ProcessHour(pkts []packet.Packet, hour time.Time) {
 	hourEnd := hour.Add(time.Hour)
 	l.availableAt = hourEnd.Add(l.cfg.CollectionDelay).Add(l.cfg.ProcessingDelay)
 	l.sampler.ProcessHour(pkts, hourEnd)
+	if l.stage != nil {
+		l.stage.Drain()
+	}
 	l.server.Tick(l.availableAt)
 }
 
@@ -85,6 +107,9 @@ func (l *Local) ProcessHour(pkts []packet.Packet, hour time.Time) {
 func (l *Local) Finish(now time.Time) {
 	l.availableAt = now.Add(l.cfg.CollectionDelay).Add(l.cfg.ProcessingDelay)
 	l.sampler.Flush(now)
+	if l.stage != nil {
+		l.stage.Close()
+	}
 	l.server.FlushScans(l.availableAt)
 	l.server.Tick(l.availableAt)
 }

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -9,7 +10,6 @@ import (
 	"exiot/internal/annotate"
 	"exiot/internal/api"
 	"exiot/internal/enrich"
-	"exiot/internal/features"
 	"exiot/internal/feed"
 	"exiot/internal/notify"
 	"exiot/internal/organizer"
@@ -52,6 +52,10 @@ type ServerConfig struct {
 	// HistoricalWindow is the historical database's lapse (paper: two
 	// weeks).
 	HistoricalWindow time.Duration
+	// Workers bounds the back half's concurrency: the ZMap probe pool
+	// and the annotate fan-out at scan-batch flush (0 = GOMAXPROCS,
+	// 1 = fully serial). The feed is identical at any setting.
+	Workers int
 }
 
 // DefaultServerConfig returns the paper's operating point.
@@ -79,6 +83,7 @@ type Counters struct {
 // events and maintains the CTI feed.
 type Server struct {
 	cfg       ServerConfig
+	workers   int
 	scanMod   *scanmod.Module
 	annotator *annotate.Annotator
 	trainer   *trainer.Trainer
@@ -113,6 +118,10 @@ type Server struct {
 type pendingFlow struct {
 	batch       *organizer.Batch
 	availableAt time.Time
+	// raw/rawErr carry the classify stage's precomputed feature vector
+	// (nil when the event arrived on the serial path).
+	raw    []float64
+	rawErr error
 }
 
 // NewServer assembles the feed-server half. prober answers active
@@ -125,9 +134,16 @@ func NewServer(cfg ServerConfig, prober zmap.Prober, reg *registry.Registry, mai
 	if cfg.HistoricalWindow <= 0 {
 		cfg.HistoricalWindow = 14 * 24 * time.Hour
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	scanner := zmap.NewScanner(prober)
+	scanner.Workers = workers
 	s := &Server{
 		cfg:            cfg,
-		scanMod:        scanmod.New(cfg.ScanMod, zmap.NewScanner(prober), recog.NewDB()),
+		workers:        workers,
+		scanMod:        scanmod.New(cfg.ScanMod, scanner, recog.NewDB()),
 		annotator:      annotate.New(enrich.New(reg)),
 		trainer:        trainer.New(cfg.Trainer),
 		latest:         store.NewCollection[feed.Record](),
@@ -148,10 +164,21 @@ func NewServer(cfg ServerConfig, prober zmap.Prober, reg *registry.Registry, mai
 // Notifier exposes the e-mail notifier (nil when disabled).
 func (s *Server) Notifier() *notify.Notifier { return s.notifier }
 
+// Workers returns the effective back-half worker count (after the
+// GOMAXPROCS default is resolved).
+func (s *Server) Workers() int { return s.workers }
+
 // HandleEvent consumes one sampler event. availableAt is the simulated
 // wall-clock instant the event reached the feed server (hour publish +
 // collection + processing delays).
 func (s *Server) HandleEvent(e SamplerEvent, availableAt time.Time) {
+	s.handlePrepared(e, nil, nil, availableAt)
+}
+
+// handlePrepared is HandleEvent with the classify stage's precomputed
+// feature vector attached (nil raw and rawErr on the serial path, where
+// the vector is computed at flush time instead).
+func (s *Server) handlePrepared(e SamplerEvent, raw []float64, rawErr error, availableAt time.Time) {
 	s.liveness.Beat()
 	s.mu.Lock()
 	if availableAt.After(s.clock) {
@@ -161,7 +188,7 @@ func (s *Server) HandleEvent(e SamplerEvent, availableAt time.Time) {
 
 	switch e.Kind {
 	case SamplerBatch:
-		s.handleBatch(e.Batch, availableAt)
+		s.handleBatch(e.Batch, raw, rawErr, availableAt)
 	case SamplerFlowEnd:
 		s.handleFlowEnd(e, availableAt)
 	case SamplerReport:
@@ -173,9 +200,9 @@ func (s *Server) HandleEvent(e SamplerEvent, availableAt time.Time) {
 	s.Tick(availableAt)
 }
 
-func (s *Server) handleBatch(b *organizer.Batch, availableAt time.Time) {
+func (s *Server) handleBatch(b *organizer.Batch, raw []float64, rawErr error, availableAt time.Time) {
 	s.mu.Lock()
-	s.pendingBatches[b.IP] = &pendingFlow{batch: b, availableAt: availableAt}
+	s.pendingBatches[b.IP] = &pendingFlow{batch: b, availableAt: availableAt, raw: raw, rawErr: rawErr}
 	s.mu.Unlock()
 	// The paper probes scanners immediately upon detection; the scan
 	// module batches up to BatchSize/BatchWait before the sweep runs.
@@ -185,26 +212,51 @@ func (s *Server) handleBatch(b *organizer.Batch, availableAt time.Time) {
 }
 
 // resolveTagged joins active-measurement results with their organized
-// flows and emits CTI records.
+// flows and emits CTI records. Annotation (feature extraction, forest
+// inference, enrichment) fans out across the configured workers — every
+// per-record computation is pure and the model is fixed for the whole
+// flush — while the stateful tail (trainer window, store inserts,
+// counters, notifications) runs serially in batch order, so the emitted
+// feed is identical to the fully serial path.
 func (s *Server) resolveTagged(tagged []scanmod.Tagged, now time.Time) {
+	span := telemetry.Default().StartSpan("classify")
+	defer span.End()
+
+	// Join scan results with their organized flows, preserving order.
+	s.mu.Lock()
+	flows := make([]*pendingFlow, len(tagged))
 	for i := range tagged {
-		tg := &tagged[i]
-		s.mu.Lock()
-		pf := s.pendingBatches[tg.IP]
-		delete(s.pendingBatches, tg.IP)
-		s.mu.Unlock()
+		flows[i] = s.pendingBatches[tagged[i].IP]
+		delete(s.pendingBatches, tagged[i].IP)
+	}
+	s.mu.Unlock()
+
+	jobs := make([]annotate.Job, 0, len(tagged))
+	for i := range tagged {
+		pf := flows[i]
 		if pf == nil {
 			continue // flow was dropped by the organizer
 		}
-		s.emitRecord(pf.batch, &tg.Result, tg.Match, now)
+		jobs = append(jobs, annotate.Job{
+			Batch:  pf.batch,
+			Scan:   &tagged[i].Result,
+			Match:  tagged[i].Match,
+			Raw:    pf.raw,
+			RawErr: pf.rawErr,
+		})
+	}
+	recs, errs := s.annotator.AnnotateBatch(jobs, s.workers)
+	for k := range jobs {
+		if errs[k] != nil {
+			continue // malformed flow; nothing to record
+		}
+		s.finishRecord(jobs[k].Batch, recs[k], jobs[k].Raw, jobs[k].Match, now)
 	}
 }
 
-func (s *Server) emitRecord(b *organizer.Batch, scan *zmap.HostResult, match *recog.Match, appearedAt time.Time) {
-	rec, err := s.annotator.Annotate(b, scan, match)
-	if err != nil {
-		return // malformed flow; nothing to record
-	}
+// finishRecord applies one annotated record's stateful tail. Must be
+// called in batch order from a single goroutine.
+func (s *Server) finishRecord(b *organizer.Batch, rec feed.Record, raw []float64, match *recog.Match, appearedAt time.Time) {
 	rec.AppearedAt = appearedAt
 
 	// Banner-labeled flows feed the update-classifier window.
@@ -213,17 +265,15 @@ func (s *Server) emitRecord(b *organizer.Batch, scan *zmap.HostResult, match *re
 		if match.IoT {
 			label = 1
 		}
-		if raw, err := features.RawVector(b.Sample); err == nil {
-			s.trainer.Add(trainer.Example{
-				Time:  appearedAt,
-				IP:    rec.IP,
-				Raw:   raw,
-				Label: label,
-			})
-			s.mu.Lock()
-			s.counters.BannersLabeled++
-			s.mu.Unlock()
-		}
+		s.trainer.Add(trainer.Example{
+			Time:  appearedAt,
+			IP:    rec.IP,
+			Raw:   raw,
+			Label: label,
+		})
+		s.mu.Lock()
+		s.counters.BannersLabeled++
+		s.mu.Unlock()
 	}
 
 	histID := s.historical.Insert(appearedAt, rec)
@@ -314,6 +364,14 @@ func (s *Server) FlushScans(now time.Time) {
 	}
 }
 
+// installModel publishes a trained model to the annotate module. The
+// pointer forest is flattened into a contiguous inference arena first:
+// scores are bit-identical, but the hot path walks one cache-friendly
+// node slice and gains the batch-prediction entry point.
+func (s *Server) installModel(m *trainer.TrainedModel) {
+	s.annotator.SetModel(&annotate.Model{Classifier: m.Forest.Flatten(), Normalizer: m.Normalizer})
+}
+
 func (s *Server) maybeRetrain(now time.Time) {
 	s.mu.Lock()
 	due := s.lastRetrain.IsZero() || now.Sub(s.lastRetrain) >= s.cfg.RetrainEvery
@@ -332,7 +390,7 @@ func (s *Server) maybeRetrain(now time.Time) {
 	if err != nil {
 		return // not enough labeled data yet (bootstrap)
 	}
-	s.annotator.SetModel(&annotate.Model{Classifier: m.Forest, Normalizer: m.Normalizer})
+	s.installModel(m)
 	s.mu.Lock()
 	s.lastModel = m
 	s.lastRetrain = now
@@ -351,7 +409,7 @@ func (s *Server) RestoreModel(dir string) error {
 	if m == nil {
 		return nil
 	}
-	s.annotator.SetModel(&annotate.Model{Classifier: m.Forest, Normalizer: m.Normalizer})
+	s.installModel(m)
 	s.mu.Lock()
 	s.lastModel = m
 	s.lastRetrain = m.TrainedAt
@@ -365,7 +423,7 @@ func (s *Server) ForceRetrain(now time.Time) error {
 	if err != nil {
 		return err
 	}
-	s.annotator.SetModel(&annotate.Model{Classifier: m.Forest, Normalizer: m.Normalizer})
+	s.installModel(m)
 	s.mu.Lock()
 	s.lastModel = m
 	s.counters.ModelRetrains++

@@ -94,6 +94,10 @@ type Scanner struct {
 	// Rate is the simulated probe budget in probes/second, used to
 	// account scan latency (the paper runs ZMap at 5k pps).
 	Rate float64
+	// Workers caps ScanBatch's probe concurrency (0 = GOMAXPROCS). The
+	// pipeline wires its classification worker count here so one knob
+	// governs the whole back half.
+	Workers int
 
 	mu         sync.Mutex
 	probesSent int64
@@ -140,7 +144,10 @@ func (s *Scanner) ScanHost(ip packet.IP) HostResult {
 // 60 minutes) before invoking this.
 func (s *Scanner) ScanBatch(ips []packet.IP) []HostResult {
 	out := make([]HostResult, len(ips))
-	workers := runtime.GOMAXPROCS(0)
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(ips) {
 		workers = len(ips)
 	}

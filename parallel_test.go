@@ -1,7 +1,9 @@
 // Cross-package equivalence proof for the parallel ingest path: a
 // multi-day deployment run with Workers: 8 (sharded TRW detection +
-// parallel hour generation) must produce the same feed, detector stats,
-// and evaluation tables as the exact legacy serial path (Workers: 1).
+// parallel hour generation + the classify-stage worker pool and probe
+// fan-out in the feed back half) must produce the same feed, detector
+// stats, server counters, and evaluation tables as the exact legacy
+// serial path (Workers: 1).
 package exiot_test
 
 import (
@@ -56,6 +58,13 @@ func TestParallelIngestEquivalence(t *testing.T) {
 	pStats := parallel.Sys.Pipeline().Sampler().DetectorStats()
 	if sStats != pStats {
 		t.Errorf("detector stats differ:\n workers=8: %+v\n workers=1: %+v", pStats, sStats)
+	}
+
+	// The back half (classify worker pool, probe fan-out, batch
+	// inference) must leave the server's lifetime counters untouched too:
+	// same records, banner labels, retrains, and notifications.
+	if sc, pc := serial.Sys.Feed().Counters(), parallel.Sys.Feed().Counters(); sc != pc {
+		t.Errorf("server counters differ:\n workers=8: %+v\n workers=1: %+v", pc, sc)
 	}
 
 	if s, p := experiments.TableIII(serial), experiments.TableIII(parallel); !reflect.DeepEqual(s, p) {
