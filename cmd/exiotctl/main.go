@@ -9,6 +9,12 @@
 //	exiotctl campaigns
 //	exiotctl export > feed.ndjson
 //	exiotctl alert -prefix 198.51.100.0/24 -email soc@example.org
+//
+// The state subcommand works offline against a feed server's durable
+// state directory (no server or key needed):
+//
+//	exiotctl state -dir /var/lib/exiot/state inspect
+//	exiotctl state -dir /var/lib/exiot/state verify
 package main
 
 import (
@@ -22,6 +28,8 @@ import (
 	"net/url"
 	"os"
 	"strings"
+
+	"exiot/internal/durable"
 )
 
 func main() {
@@ -31,7 +39,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: exiotctl [flags] snapshot|records|record <ip>|stats <kind>|campaigns|export|alert")
+		fmt.Fprintln(os.Stderr, "usage: exiotctl [flags] snapshot|records|record <ip>|stats <kind>|campaigns|export|alert|state")
 		os.Exit(2)
 	}
 	if err := run(*server, *key, flag.Args()); err != nil {
@@ -94,8 +102,87 @@ func run(server, key string, args []string) error {
 			return err
 		}
 		return c.post("/api/v1/alerts", body)
+	case "state":
+		return runState(args[1:])
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+// runState inspects a durable state directory offline: per-file
+// snapshot and WAL segment metadata (inspect) or CRC validation with a
+// non-zero exit on damage (verify).
+func runState(args []string) error {
+	fs := flag.NewFlagSet("state", flag.ExitOnError)
+	dir := fs.String("dir", "", "durable state directory (exiotd -state-dir)")
+	asJSON := fs.Bool("json", false, "emit the raw inspection report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("state requires -dir")
+	}
+	sub := "inspect"
+	if fs.NArg() > 0 {
+		sub = fs.Arg(0)
+	}
+	switch sub {
+	case "inspect":
+		info, err := durable.Inspect(*dir)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			raw, err := json.MarshalIndent(info, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(raw))
+			return nil
+		}
+		printStateReport(info)
+		return nil
+	case "verify":
+		problems, err := durable.Verify(*dir)
+		if err != nil {
+			return err
+		}
+		if len(problems) == 0 {
+			fmt.Println("ok: every snapshot and WAL segment passes CRC validation")
+			return nil
+		}
+		for _, p := range problems {
+			fmt.Println("PROBLEM:", p)
+		}
+		return fmt.Errorf("%d problem(s) found", len(problems))
+	default:
+		return fmt.Errorf("usage: exiotctl state -dir <dir> inspect|verify")
+	}
+}
+
+func printStateReport(info *durable.DirInfo) {
+	fmt.Printf("state directory %s\n", info.Dir)
+	fmt.Printf("snapshots (%d):\n", len(info.Snapshots))
+	for _, s := range info.Snapshots {
+		status := "valid"
+		if !s.Valid {
+			status = "CORRUPT: " + s.Error
+		}
+		fmt.Printf("  %s  %8d bytes  last_seq=%d events=%d taken=%s  %s\n",
+			s.Name, s.Size, s.Meta.LastSeq, s.Meta.EventCount,
+			s.Meta.TakenAt.Format("2006-01-02T15:04:05Z"), status)
+	}
+	fmt.Printf("wal segments (%d):\n", len(info.Segments))
+	for _, s := range info.Segments {
+		status := "valid"
+		switch {
+		case s.Error != "":
+			status = "CORRUPT: " + s.Error
+		case s.TornBytes > 0:
+			status = fmt.Sprintf("TORN TAIL: %d bytes after seq %d", s.TornBytes, s.LastSeq)
+		}
+		fmt.Printf("  %s  %8d bytes  seq %d..%d  %d records (%d events, %d retrains)  %s\n",
+			s.Name, s.Size, s.FirstSeq, s.LastSeq, s.Records, s.Events, s.Retrains, status)
 	}
 }
 

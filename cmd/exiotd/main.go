@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"exiot/internal/api"
+	"exiot/internal/durable"
 	"exiot/internal/notify"
 	"exiot/internal/pipeline"
 	"exiot/internal/simnet"
@@ -50,16 +51,26 @@ func main() {
 		modelDir  = flag.String("models", "", "model archive directory (archive daily models; restore latest on start)")
 		workers   = flag.Int("workers", 0, "worker count for generation, detection, and feed classification (0 = GOMAXPROCS, 1 = serial)")
 		telAddr   = flag.String("telemetry-addr", "", "operator telemetry listen address (/metrics, /healthz, /debug/pprof); empty disables")
+
+		stateDir  = flag.String("state-dir", "", "durable state directory (WAL + snapshots; recover on start, empty disables)")
+		stateSync = flag.String("state-sync", "interval", "WAL fsync policy: always|interval|off")
+		stateSnap = flag.Duration("state-snapshot-every", 6*time.Hour, "simulated-time snapshot cadence")
 	)
 	flag.Parse()
+	dcfg := pipeline.DurableConfig{
+		Dir:           *stateDir,
+		Sync:          durable.SyncPolicy(*stateSync),
+		SnapshotEvery: *stateSnap,
+	}
 	if err := run(*listen, *apiAddr, *apiKey, *simulate, *hours, *seed,
-		*infected, *nonIoT, *research, *misconfig, *backscat, *whois, *modelDir, *workers, *telAddr); err != nil {
+		*infected, *nonIoT, *research, *misconfig, *backscat, *whois, *modelDir, *workers, *telAddr, dcfg); err != nil {
 		log.Fatal(err)
 	}
 }
 
 func run(listen, apiAddr, apiKey string, simulate bool, hours int, seed int64,
-	infected, nonIoT, research, misconfig, backscat int, whois bool, modelDir string, workers int, telAddr string) error {
+	infected, nonIoT, research, misconfig, backscat int, whois bool, modelDir string, workers int, telAddr string,
+	dcfg pipeline.DurableConfig) error {
 	if telAddr != "" {
 		// The operator mux is separate from the public API: it carries
 		// pprof and needs no key. The API's own /metrics and /healthz stay
@@ -94,13 +105,33 @@ func run(listen, apiAddr, apiKey string, simulate bool, hours int, seed int64,
 
 	var source *pipeline.Server
 	if simulate {
-		local := pipeline.NewLocal(pcfg, w, w.Registry(), mailer)
+		pcfg.Durable = dcfg
+		local, err := pipeline.NewDurableLocal(pcfg, w, w.Registry(), mailer)
+		if err != nil {
+			return fmt.Errorf("open state dir: %w", err)
+		}
+		if d := local.Durable(); d != nil {
+			if r := d.Recovery(); r.Events() > 0 {
+				fmt.Printf("recovered feed state: snapshot through seq %d (%d events) + %d WAL events replayed",
+					r.SnapshotSeq, r.SnapshotEvents, r.ReplayedEvents)
+				if r.Truncated {
+					fmt.Print(" (torn tail truncated; regeneration heals it)")
+				}
+				fmt.Println()
+			}
+		}
 		start := time.Now()
+		// On resume the world regenerates every hour from the shared seed;
+		// deliveries already covered by the recovered state are skipped, so
+		// the run continues exactly where the previous process stopped.
 		for h := 0; h < hours; h++ {
 			hour := w.Start().Add(time.Duration(h) * time.Hour)
 			local.ProcessHour(w.GenerateHour(hour), hour)
 		}
 		local.Finish(w.Start().Add(time.Duration(hours) * time.Hour))
+		if err := local.Close(); err != nil {
+			return fmt.Errorf("close state dir: %w", err)
+		}
 		c := local.Server().Counters()
 		fmt.Printf("simulated %d h in %v: %d records, %d banner labels, %d retrains, %d emails\n",
 			hours, time.Since(start).Round(time.Millisecond),
@@ -113,7 +144,20 @@ func run(listen, apiAddr, apiKey string, simulate bool, hours int, seed int64,
 	} else {
 		server := pipeline.NewServer(pcfg.Server, w, w.Registry(), mailer)
 		source = server
-		if modelDir != "" {
+		var dur *pipeline.Durable
+		if dcfg.Dir != "" {
+			var err error
+			if dur, err = pipeline.OpenDurable(dcfg, server); err != nil {
+				return fmt.Errorf("open state dir: %w", err)
+			}
+			if r := dur.Recovery(); r.Events() > 0 {
+				fmt.Printf("recovered feed state: snapshot through seq %d (%d events) + %d WAL events replayed\n",
+					r.SnapshotSeq, r.SnapshotEvents, r.ReplayedEvents)
+			}
+		}
+		// The recovered state's model (retrained from the restored window)
+		// wins over the disk archive: it matches the recovered feed.
+		if modelDir != "" && server.LastModel() == nil {
 			if err := server.RestoreModel(modelDir); err != nil {
 				return fmt.Errorf("restore model: %w", err)
 			}
@@ -125,9 +169,25 @@ func run(listen, apiAddr, apiKey string, simulate bool, hours int, seed int64,
 		// back half is parallel; the reorder buffer keeps the feed
 		// identical to the serial path.
 		handle := server.HandleEvent
-		if server.Workers() > 1 {
+		serialBackHalf := server.Workers() <= 1
+		if !serialBackHalf {
 			stage := pipeline.NewClassifyStage(server, server.Workers())
 			handle = stage.Enqueue
+		}
+		if dur != nil {
+			// WAL ahead of delivery, in arrival order (the classify stage
+			// re-serializes to the same order). Periodic snapshots need
+			// every appended event applied, so they run only on the serial
+			// path; the parallel receiver recovers from the WAL alone.
+			deliver := handle
+			handle = func(e pipeline.SamplerEvent, availableAt time.Time) {
+				dur.Append(e, availableAt)
+				deliver(e, availableAt)
+				if serialBackHalf {
+					dur.MaybeSnapshot(availableAt, false)
+				}
+			}
+			defer dur.Close()
 		}
 		recv, err := wire.NewReceiver(listen, func(f wire.Frame) {
 			e, err := pipeline.DecodeEvent(f)

@@ -1,0 +1,245 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WAL segment layout:
+//
+//	header (24 bytes): "EXWALSEG" | u32 version | u32 reserved | u64 startSeq
+//	record:            u32 payloadLen | u32 crc32c(payload) | payload
+//	payload:           u8 type | u64 seq | body
+//
+// RecordEvent body: i64 availableAt (UnixNano, UTC) | u8 wireKind | event bytes.
+// RecordRetrain body: metadata JSON.
+//
+// All integers are little-endian. Sequence numbers are strictly
+// consecutive within a segment and across the live log, so a CRC match
+// with a wrong seq is still rejected. A record that fails any check
+// marks the torn tail: everything before it is the recovered prefix.
+
+const (
+	segMagic      = "EXWALSEG"
+	segVersion    = 1
+	segHeaderSize = 8 + 4 + 4 + 8
+	recHeaderSize = 4 + 4
+	// maxRecordSize bounds a record's payload so a corrupted length
+	// field cannot trigger a giant allocation during replay.
+	maxRecordSize = 64 << 20
+)
+
+// segmentName renders the canonical file name for a starting sequence.
+func segmentName(startSeq uint64) string {
+	return fmt.Sprintf("wal-%016x.seg", startSeq)
+}
+
+// parseSegmentName extracts the start sequence from a segment file name.
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg"), 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// encodeSegmentHeader renders a segment header.
+func encodeSegmentHeader(startSeq uint64) []byte {
+	hdr := make([]byte, segHeaderSize)
+	copy(hdr, segMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], segVersion)
+	binary.LittleEndian.PutUint64(hdr[16:], startSeq)
+	return hdr
+}
+
+// encodeRecord frames one record: header + payload, CRC included.
+func encodeRecord(typ RecordType, seq uint64, body []byte) []byte {
+	payload := make([]byte, 1+8+len(body))
+	payload[0] = byte(typ)
+	binary.LittleEndian.PutUint64(payload[1:], seq)
+	copy(payload[9:], body)
+	frame := make([]byte, recHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
+	copy(frame[recHeaderSize:], payload)
+	return frame
+}
+
+// encodeEventBody renders a RecordEvent body.
+func encodeEventBody(availableAt time.Time, kind uint8, payload []byte) []byte {
+	body := make([]byte, 8+1+len(payload))
+	binary.LittleEndian.PutUint64(body, uint64(availableAt.UnixNano()))
+	body[8] = kind
+	copy(body[9:], payload)
+	return body
+}
+
+// decodeRecord parses a validated payload into a Record.
+func decodeRecord(payload []byte) (Record, error) {
+	if len(payload) < 9 {
+		return Record{}, fmt.Errorf("durable: record payload too short (%d bytes)", len(payload))
+	}
+	rec := Record{
+		Type: RecordType(payload[0]),
+		Seq:  binary.LittleEndian.Uint64(payload[1:]),
+	}
+	body := payload[9:]
+	switch rec.Type {
+	case RecordEvent:
+		if len(body) < 9 {
+			return Record{}, fmt.Errorf("durable: event record body too short (%d bytes)", len(body))
+		}
+		rec.AvailableAt = time.Unix(0, int64(binary.LittleEndian.Uint64(body))).UTC()
+		rec.Kind = body[8]
+		rec.Payload = body[9:]
+	case RecordRetrain:
+		rec.Payload = body
+	default:
+		return Record{}, fmt.Errorf("durable: unknown record type %d", payload[0])
+	}
+	return rec, nil
+}
+
+// segScan summarizes one scanned segment.
+type segScan struct {
+	path      string
+	name      string
+	size      int64
+	startSeq  uint64 // from the header
+	firstSeq  uint64 // first record (0 when empty)
+	lastSeq   uint64 // last valid record (0 when empty)
+	records   int
+	events    int
+	retrains  int
+	validLen  int64 // bytes up to and including the last valid record
+	torn      bool  // trailing bytes failed validation
+	gap       bool  // sequence gap before this segment: nothing applied
+	headerErr error // header invalid: whole file is opaque
+}
+
+// scanSegment validates one segment front to back, invoking fn for every
+// valid record (fn may be nil). Validation stops at the first framing or
+// CRC failure — the torn tail — and never errors for it; only I/O or
+// header problems surface as errors via headerErr/err.
+func scanSegment(path string, fn func(Record) error) (segScan, error) {
+	sc := segScan{path: path, name: filepath.Base(path)}
+	f, err := os.Open(path)
+	if err != nil {
+		return sc, err
+	}
+	defer f.Close()
+	if fi, err := f.Stat(); err == nil {
+		sc.size = fi.Size()
+	}
+
+	hdr := make([]byte, segHeaderSize)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		sc.headerErr = fmt.Errorf("durable: %s: short header: %w", sc.name, err)
+		return sc, nil
+	}
+	if string(hdr[:8]) != segMagic {
+		sc.headerErr = fmt.Errorf("durable: %s: bad magic", sc.name)
+		return sc, nil
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != segVersion {
+		sc.headerErr = fmt.Errorf("durable: %s: unsupported version %d", sc.name, v)
+		return sc, nil
+	}
+	if r := binary.LittleEndian.Uint32(hdr[12:]); r != 0 {
+		sc.headerErr = fmt.Errorf("durable: %s: corrupt header (reserved = %#x)", sc.name, r)
+		return sc, nil
+	}
+	sc.startSeq = binary.LittleEndian.Uint64(hdr[16:])
+	sc.validLen = segHeaderSize
+
+	recHdr := make([]byte, recHeaderSize)
+	wantSeq := sc.startSeq
+	for {
+		if _, err := io.ReadFull(f, recHdr); err != nil {
+			sc.torn = err != io.EOF
+			break
+		}
+		payloadLen := binary.LittleEndian.Uint32(recHdr[0:])
+		wantCRC := binary.LittleEndian.Uint32(recHdr[4:])
+		if payloadLen < 9 || payloadLen > maxRecordSize ||
+			sc.validLen+recHeaderSize+int64(payloadLen) > sc.size {
+			sc.torn = true
+			break
+		}
+		payload := make([]byte, payloadLen)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			sc.torn = true
+			break
+		}
+		if crc32.Checksum(payload, castagnoli) != wantCRC {
+			sc.torn = true
+			break
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil || rec.Seq != wantSeq {
+			sc.torn = true
+			break
+		}
+		if sc.records == 0 {
+			sc.firstSeq = rec.Seq
+		}
+		sc.lastSeq = rec.Seq
+		sc.records++
+		switch rec.Type {
+		case RecordEvent:
+			sc.events++
+		case RecordRetrain:
+			sc.retrains++
+		}
+		sc.validLen += recHeaderSize + int64(payloadLen)
+		wantSeq++
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return sc, err
+			}
+		}
+	}
+	return sc, nil
+}
+
+// listSegments returns the directory's segments sorted by start
+// sequence. Files with unparseable names are ignored.
+func listSegments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if _, ok := parseSegmentName(e.Name()); ok {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // zero-padded hex start seqs sort numerically
+	return names, nil
+}
+
+// syncDir fsyncs a directory so renames and creates inside it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

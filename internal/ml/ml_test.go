@@ -1,8 +1,11 @@
 package ml
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 	"testing/quick"
 	"time"
@@ -317,6 +320,61 @@ func TestLatestModelEmptyDir(t *testing.T) {
 func TestLoadModelErrors(t *testing.T) {
 	if _, err := LoadModel("/nonexistent/model.json"); err == nil {
 		t.Error("want error for missing file")
+	}
+}
+
+func TestSaveModelCrashSafety(t *testing.T) {
+	// A crash mid-archive leaves either a .tmp file (never picked up) or
+	// a truncated .json (a LoadModel error, but never a silently wrong
+	// model). LatestModel must keep returning the newest intact archive.
+	dir := t.TempDir()
+	ds := blobs(120, 3, 18)
+	f := TrainForest(&ds, ForestConfig{NumTrees: 3, Seed: 3})
+	good := &SavedModel{TrainedAt: timeFixed(), WindowDays: 14, Forest: f}
+	if _, err := SaveModel(dir, good); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash before the rename: a half-written temp file.
+	data, _ := json.Marshal(good)
+	partialTmp := filepath.Join(dir, modelFileName(timeFixed().Add(24*time.Hour))+".12345.tmp")
+	if err := os.WriteFile(partialTmp, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	latest, err := LatestModel(dir)
+	if err != nil {
+		t.Fatalf("leftover temp file broke the archive: %v", err)
+	}
+	if latest == nil || !latest.TrainedAt.Equal(good.TrainedAt) {
+		t.Fatal("LatestModel did not return the intact archive")
+	}
+
+	// A torn canonical file (e.g. copied off a dying disk) must be a
+	// loud decode error, not a silent partial model.
+	torn := filepath.Join(dir, modelFileName(timeFixed().Add(-24*time.Hour)))
+	if err := os.WriteFile(torn, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(torn); err == nil {
+		t.Error("want decode error for truncated model file")
+	}
+
+	// SaveModel leaves no temp droppings behind on success.
+	if _, err := SaveModel(dir, &SavedModel{TrainedAt: timeFixed().Add(48 * time.Hour), Forest: f}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmps := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			tmps++
+		}
+	}
+	if tmps != 1 { // only the crash-simulated one we planted
+		t.Errorf("SaveModel left temp files behind: %d .tmp entries, want 1", tmps)
 	}
 }
 

@@ -31,18 +31,42 @@ func modelFileName(trainedAt time.Time) string {
 	return "model-" + trainedAt.UTC().Format("20060102-150405") + ".json"
 }
 
-// SaveModel archives the model into dir.
+// SaveModel archives the model into dir. The write is crash-safe: the
+// bytes land in a uniquely named temp file (extension ".tmp", so a
+// crashed half-write is never picked up by LatestModel), are fsynced,
+// and only then renamed to the canonical ".json" name, with the
+// directory synced so the rename itself survives power loss.
 func SaveModel(dir string, m *SavedModel) (string, error) {
 	data, err := json.Marshal(m)
 	if err != nil {
 		return "", fmt.Errorf("encode model: %w", err)
 	}
 	path := filepath.Join(dir, modelFileName(m.TrainedAt))
-	if err := os.WriteFile(path+".tmp", data, 0o644); err != nil {
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".*.tmp")
+	if err != nil {
 		return "", fmt.Errorf("write model: %w", err)
 	}
-	if err := os.Rename(path+".tmp", path); err != nil {
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("write model: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("sync model: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("close model: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
 		return "", fmt.Errorf("publish model: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
 	}
 	return path, nil
 }

@@ -1,0 +1,473 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"exiot/internal/durable"
+	"exiot/internal/feed"
+	"exiot/internal/ml"
+	"exiot/internal/notify"
+	"exiot/internal/packet"
+	"exiot/internal/store"
+	"exiot/internal/telemetry"
+	"exiot/internal/trainer"
+	"exiot/internal/wire"
+)
+
+// This file wires the durable subsystem into the feed server. Design
+// (see DESIGN.md, "Durability and recovery determinism"): the WAL logs
+// the server's *inputs* — wire-encoded sampler events plus the
+// simulated instant each became available — and recovery replays them
+// through the unmodified HandleEvent path on top of the latest
+// snapshot. Because the pipeline is deterministic given its inputs,
+// replay reproduces every downstream effect: record inserts, END_FLOW
+// updates, trainer-window growth, recomputed retrains, notifications.
+
+// serverState is the snapshot payload: the feed server's full mutable
+// state at a quiescent point (no organized flow awaiting probe
+// results).
+type serverState struct {
+	// ObjectIDCounter raises the process-global ID counter on restore so
+	// fresh IDs cannot collide with restored ones.
+	ObjectIDCounter uint64 `json:"object_id_counter"`
+
+	Clock       time.Time `json:"clock"`
+	LastRetrain time.Time `json:"last_retrain"`
+	LastAttempt time.Time `json:"last_attempt"`
+	Counters    Counters  `json:"counters"`
+
+	Latest     []store.Doc[feed.Record]          `json:"latest"`
+	Historical []store.Doc[feed.Record]          `json:"historical"`
+	LatestID   map[store.ObjectID]store.ObjectID `json:"latest_id"`
+	Active     []store.KVItem                    `json:"active"`
+
+	// PendingEnds are flow ends parked for records still waiting on a
+	// scan batch; unlike pending batches they may never drain, so they
+	// are part of the snapshot (wire-encoded, sorted by IP).
+	PendingEnds []encodedEvent `json:"pending_ends,omitempty"`
+
+	Traffic []TrafficHour `json:"traffic,omitempty"`
+	Trainer trainer.State `json:"trainer"`
+
+	Notifier *notify.State `json:"notifier,omitempty"`
+
+	ScanScanned int64 `json:"scan_scanned"`
+	ScanTagged  int64 `json:"scan_tagged"`
+
+	// Model is the active model in ml.SavedModel form (absent before the
+	// first successful retrain).
+	Model json.RawMessage `json:"model,omitempty"`
+}
+
+// encodedEvent is one wire-encoded sampler event inside a snapshot.
+type encodedEvent struct {
+	Kind    uint8  `json:"kind"`
+	Payload []byte `json:"payload"`
+}
+
+// Quiescent reports whether the server is at a snapshot-safe point: no
+// organized flow is parked awaiting active-measurement results and the
+// scan module's batch buffer is empty. (Parked flow *ends* are fine —
+// they are serialized with the snapshot.)
+func (s *Server) Quiescent() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pendingBatches) == 0 && !s.scanModHasPending()
+}
+
+// ExportState serializes the server's full mutable state. The server
+// must be quiescent (see Quiescent); in-flight scan batches have no
+// serial form because probe results live in the simulated world, not in
+// the server.
+func (s *Server) ExportState() ([]byte, error) {
+	if !s.Quiescent() {
+		return nil, errors.New("pipeline: export requires a quiescent server (scan batch in flight)")
+	}
+	scanned, tagged := s.scanMod.Stats()
+	st := serverState{
+		ObjectIDCounter: store.ObjectIDCounterValue(),
+		Latest:          s.latest.Export(),
+		Historical:      s.historical.Export(),
+		Active:          s.active.Export(),
+		Traffic:         s.traffic.export(),
+		Trainer:         s.trainer.ExportState(),
+		ScanScanned:     scanned,
+		ScanTagged:      tagged,
+	}
+
+	s.mu.Lock()
+	st.Clock = s.clock
+	st.LastRetrain = s.lastRetrain
+	st.LastAttempt = s.lastAttempt
+	st.Counters = s.counters
+	st.LatestID = make(map[store.ObjectID]store.ObjectID, len(s.latestID))
+	for k, v := range s.latestID {
+		st.LatestID[k] = v
+	}
+	ends := make([]SamplerEvent, 0, len(s.pendingEnds))
+	for _, e := range s.pendingEnds {
+		ends = append(ends, e)
+	}
+	model := s.lastModel
+	s.mu.Unlock()
+
+	sort.Slice(ends, func(i, j int) bool { return ends[i].IP < ends[j].IP })
+	for _, e := range ends {
+		kind, payload, err := EncodeEvent(e)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: encode pending end: %w", err)
+		}
+		st.PendingEnds = append(st.PendingEnds, encodedEvent{Kind: uint8(kind), Payload: payload})
+	}
+
+	if s.notifier != nil {
+		ns := s.notifier.ExportState()
+		st.Notifier = &ns
+	}
+	if model != nil {
+		saved, err := model.Saved(s.cfg.Trainer.WindowDays)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := json.Marshal(saved)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: encode model: %w", err)
+		}
+		st.Model = raw
+	}
+	return json.Marshal(st)
+}
+
+// RestoreState reinstates a state exported by ExportState. Meant for a
+// freshly constructed server, before any event is handled.
+func (s *Server) RestoreState(payload []byte) error {
+	var st serverState
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return fmt.Errorf("pipeline: decode snapshot: %w", err)
+	}
+	store.BumpObjectIDCounter(st.ObjectIDCounter)
+	s.latest.Restore(st.Latest)
+	s.historical.Restore(st.Historical)
+	s.active.Restore(st.Active)
+	s.traffic.restore(st.Traffic)
+	s.trainer.RestoreState(st.Trainer)
+	s.scanMod.RestoreStats(st.ScanScanned, st.ScanTagged)
+
+	ends := make(map[packet.IP]SamplerEvent, len(st.PendingEnds))
+	for _, enc := range st.PendingEnds {
+		e, err := DecodeEvent(wire.Frame{Kind: wire.Kind(enc.Kind), Payload: enc.Payload})
+		if err != nil {
+			return fmt.Errorf("pipeline: decode pending end: %w", err)
+		}
+		ends[e.IP] = e
+	}
+
+	if s.notifier != nil && st.Notifier != nil {
+		if err := s.notifier.RestoreState(*st.Notifier); err != nil {
+			return err
+		}
+	}
+
+	var model *trainer.TrainedModel
+	if len(st.Model) > 0 {
+		var saved ml.SavedModel
+		if err := json.Unmarshal(st.Model, &saved); err != nil {
+			return fmt.Errorf("pipeline: decode model: %w", err)
+		}
+		m, err := trainer.FromSaved(&saved)
+		if err != nil {
+			return err
+		}
+		model = m
+	}
+
+	s.mu.Lock()
+	s.clock = st.Clock
+	s.lastRetrain = st.LastRetrain
+	s.lastAttempt = st.LastAttempt
+	s.counters = st.Counters
+	s.latestID = make(map[store.ObjectID]store.ObjectID, len(st.LatestID))
+	for k, v := range st.LatestID {
+		s.latestID[k] = v
+	}
+	s.pendingEnds = ends
+	s.lastModel = model
+	s.mu.Unlock()
+	if model != nil {
+		s.installModel(model)
+	}
+	metFeedActive.Set(float64(s.active.Len()))
+	return nil
+}
+
+// Latest exposes the active threat-information database (state
+// verification in tests and dashboards).
+func (s *Server) Latest() *store.Collection[feed.Record] { return s.latest }
+
+// setRetrainHook installs fn to observe every successful retrain (the
+// durability layer appends a marker record). Runs outside the server
+// lock.
+func (s *Server) setRetrainHook(fn func(m *trainer.TrainedModel, now time.Time)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onRetrain = fn
+}
+
+// DurableConfig parameterizes feed-state persistence. A zero Dir
+// disables the subsystem entirely.
+type DurableConfig struct {
+	// Dir is the state directory holding WAL segments and snapshots.
+	Dir string
+	// Sync is the WAL fsync policy (durable.SyncAlways / SyncInterval /
+	// SyncOff; default interval).
+	Sync durable.SyncPolicy
+	// SyncInterval is the flush period under the interval policy.
+	SyncInterval time.Duration
+	// SegmentBytes rotates WAL segments past this size.
+	SegmentBytes int64
+	// SnapshotEvery takes a full-state snapshot when the simulated clock
+	// has advanced this far since the last one (default 6 h). Snapshots
+	// wait for a quiescent server.
+	SnapshotEvery time.Duration
+	// Retain is the snapshot/WAL retention window (default 14 days, the
+	// feed's historical lapse).
+	Retain time.Duration
+}
+
+func (c DurableConfig) withDefaults() DurableConfig {
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 6 * time.Hour
+	}
+	return c
+}
+
+// RecoveryInfo summarizes what OpenDurable reconstructed.
+type RecoveryInfo struct {
+	// SnapshotSeq is the WAL position of the restored snapshot (0 when
+	// recovery started from an empty directory).
+	SnapshotSeq uint64
+	// SnapshotEvents is the lifetime event count captured by the
+	// snapshot.
+	SnapshotEvents uint64
+	// ReplayedEvents counts WAL event records re-applied on top.
+	ReplayedEvents int
+	// ReplayedRetrains counts retrain markers seen in the replayed tail
+	// (informational; retrains are recomputed, not installed).
+	ReplayedRetrains int
+	// Truncated reports that a torn or corrupt WAL tail was discarded.
+	Truncated bool
+}
+
+// Events returns the total sampler events already applied to the
+// recovered state — the number a regenerated event stream must skip
+// before deliveries resume (restart-resume in simulate mode).
+func (r RecoveryInfo) Events() uint64 {
+	return r.SnapshotEvents + uint64(r.ReplayedEvents)
+}
+
+// Durable binds a feed server to a state directory: every consumed
+// event is appended to the WAL before delivery, snapshots are taken at
+// quiescent points, and OpenDurable performs crash recovery.
+type Durable struct {
+	cfg      DurableConfig
+	mgr      *durable.Manager
+	server   *Server
+	rec      RecoveryInfo
+	muts     atomic.Int64 // store mutations since the last snapshot
+	events   uint64       // lifetime events applied (snapshot + replay + live)
+	mu       sync.Mutex
+	lastSnap time.Time // simulated TakenAt of the last snapshot
+	err      error     // sticky: first append/snapshot failure
+}
+
+// OpenDurable attaches server to the state directory in cfg and
+// performs recovery: restore the latest snapshot, replay the WAL tail
+// through the normal event path (recomputing retrains), then position
+// the log for appending. The server must be freshly constructed.
+func OpenDurable(cfg DurableConfig, server *Server) (*Durable, error) {
+	cfg = cfg.withDefaults()
+	mgr, err := durable.Open(durable.Options{
+		Dir:          cfg.Dir,
+		Sync:         cfg.Sync,
+		SyncEvery:    cfg.SyncInterval,
+		SegmentBytes: cfg.SegmentBytes,
+		Retain:       cfg.Retain,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := &Durable{cfg: cfg, mgr: mgr, server: server}
+
+	span := telemetry.Default().StartSpan("recovery")
+	meta, payload, err := mgr.LatestSnapshot()
+	if err != nil {
+		span.End()
+		mgr.Close()
+		return nil, err
+	}
+	if payload != nil {
+		if err := server.RestoreState(payload); err != nil {
+			span.End()
+			mgr.Close()
+			return nil, fmt.Errorf("pipeline: restore snapshot: %w", err)
+		}
+		d.rec.SnapshotSeq = meta.LastSeq
+		d.rec.SnapshotEvents = meta.EventCount
+		d.lastSnap = meta.TakenAt
+	}
+	stats, err := mgr.Replay(meta.LastSeq, func(rec durable.Record) error {
+		if rec.Type != durable.RecordEvent {
+			return nil
+		}
+		e, err := DecodeEvent(wire.Frame{Kind: wire.Kind(rec.Kind), Payload: rec.Payload})
+		if err != nil {
+			return fmt.Errorf("pipeline: replay seq %d: %w", rec.Seq, err)
+		}
+		server.HandleEvent(e, rec.AvailableAt)
+		return nil
+	})
+	span.End()
+	if err != nil {
+		mgr.Close()
+		return nil, err
+	}
+	d.rec.ReplayedEvents = stats.Events
+	d.rec.ReplayedRetrains = stats.Retrains
+	d.rec.Truncated = stats.Truncated
+	d.events = meta.EventCount + uint64(stats.Events)
+
+	if err := mgr.StartAppend(meta.LastSeq + 1); err != nil {
+		mgr.Close()
+		return nil, err
+	}
+
+	// Hooks go in only after replay: replayed events must not re-log
+	// themselves, and recomputed retrains must not append new markers.
+	countMut := func(store.Mutation) { d.muts.Add(1) }
+	server.latest.SetHook(countMut)
+	server.historical.SetHook(countMut)
+	server.active.SetHook(countMut)
+	server.setRetrainHook(func(m *trainer.TrainedModel, now time.Time) {
+		marker, err := json.Marshal(map[string]any{
+			"trained_at": m.TrainedAt,
+			"auc":        m.AUC,
+			"f1":         m.F1,
+			"train":      m.TrainSize,
+			"test":       m.TestSize,
+		})
+		if err == nil {
+			_, err = d.mgr.AppendRetrain(marker)
+		}
+		if err != nil {
+			d.setErr(err)
+		}
+	})
+	return d, nil
+}
+
+// Recovery reports what recovery reconstructed.
+func (d *Durable) Recovery() RecoveryInfo { return d.rec }
+
+// Err returns the first append or snapshot failure (durability is
+// degraded past this point; the feed itself keeps running).
+func (d *Durable) Err() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.err
+}
+
+func (d *Durable) setErr(err error) {
+	d.mu.Lock()
+	if d.err == nil {
+		d.err = err
+	}
+	d.mu.Unlock()
+}
+
+// Append logs one sampler event ahead of its delivery to the server.
+// Call in delivery order.
+func (d *Durable) Append(e SamplerEvent, availableAt time.Time) {
+	kind, payload, err := EncodeEvent(e)
+	if err == nil {
+		_, err = d.mgr.AppendEvent(uint8(kind), availableAt, payload)
+	}
+	if err != nil {
+		d.setErr(err)
+		return
+	}
+	d.mu.Lock()
+	d.events++
+	d.mu.Unlock()
+}
+
+// Handle appends one event and delivers it to the server (the receiver
+// path: WAL first, then apply).
+func (d *Durable) Handle(e SamplerEvent, availableAt time.Time) {
+	d.Append(e, availableAt)
+	d.server.HandleEvent(e, availableAt)
+	d.MaybeSnapshot(availableAt, false)
+}
+
+// MaybeSnapshot writes a full-state snapshot when due: the simulated
+// clock advanced past the cadence (or force), state actually changed,
+// and the server is quiescent. A non-quiescent server defers (counted
+// in exiot_snapshots_total{result="deferred"}); the next call retries.
+func (d *Durable) MaybeSnapshot(now time.Time, force bool) {
+	d.mu.Lock()
+	due := force || d.lastSnap.IsZero() || now.Sub(d.lastSnap) >= d.cfg.SnapshotEvery
+	events := d.events
+	d.mu.Unlock()
+	if !due {
+		return
+	}
+	if !force && d.muts.Load() == 0 {
+		return // nothing changed since the last snapshot
+	}
+	if !d.server.Quiescent() {
+		durable.SnapshotDeferred()
+		return
+	}
+	span := telemetry.Default().StartSpan("snapshot")
+	defer span.End()
+	payload, err := d.server.ExportState()
+	if err != nil {
+		d.setErr(err)
+		return
+	}
+	meta := durable.SnapshotMeta{
+		LastSeq:    d.mgr.NextSeq() - 1,
+		EventCount: events,
+		TakenAt:    now,
+	}
+	if err := d.mgr.WriteSnapshot(meta, payload); err != nil {
+		d.setErr(err)
+		return
+	}
+	d.muts.Store(0)
+	d.mu.Lock()
+	d.lastSnap = now
+	d.mu.Unlock()
+}
+
+// Close syncs and releases the state directory. It takes no final
+// snapshot itself: only a caller that can guarantee every appended
+// record has reached the server (Local.Close, after Finish drains the
+// classify stage) may safely force one — a snapshot claiming sequences
+// the state does not yet contain would lose those events on recovery.
+// The synced WAL covers the tail either way.
+func (d *Durable) Close() error {
+	err := d.mgr.Close()
+	if first := d.Err(); first != nil {
+		return first
+	}
+	return err
+}
+
+// Manager exposes the underlying log manager (tests).
+func (d *Durable) Manager() *durable.Manager { return d.mgr }

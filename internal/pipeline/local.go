@@ -32,6 +32,13 @@ type LocalConfig struct {
 	// ProcessingDelay models the flow-detection pass over one published
 	// hour (paper: ≈20 minutes per hour of data).
 	ProcessingDelay time.Duration
+
+	// Durable persists feed state to a WAL + snapshot directory and
+	// recovers it on start (empty Dir disables). On resume, re-drive the
+	// same generated hours through ProcessHour: deliveries already
+	// covered by the recovered state are skipped and the run continues
+	// exactly where the previous process stopped.
+	Durable DurableConfig
 }
 
 // DefaultLocalConfig returns the paper's operating point.
@@ -54,12 +61,30 @@ type Local struct {
 	// stage is the classify worker pool (nil on the serial path, where
 	// sampler events go straight to the server).
 	stage *ClassifyStage
+	// durable persists state when configured; skip counts regenerated
+	// events already covered by the recovered state, which are neither
+	// re-logged nor re-delivered.
+	durable *Durable
+	skip    uint64
 
 	availableAt time.Time
 }
 
-// NewLocal assembles a single-process pipeline.
+// NewLocal assembles a single-process pipeline. When cfg.Durable.Dir is
+// set and the state directory cannot be opened, NewLocal panics; use
+// NewDurableLocal to handle the error.
 func NewLocal(cfg LocalConfig, prober zmap.Prober, reg *registry.Registry, mailer notify.Mailer) *Local {
+	l, err := NewDurableLocal(cfg, prober, reg, mailer)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// NewDurableLocal assembles a single-process pipeline, recovering feed
+// state from cfg.Durable.Dir when configured. The error is always nil
+// with durability disabled.
+func NewDurableLocal(cfg LocalConfig, prober zmap.Prober, reg *registry.Registry, mailer notify.Mailer) (*Local, error) {
 	if cfg.CollectionDelay == 0 {
 		cfg.CollectionDelay = DefaultLocalConfig().CollectionDelay
 	}
@@ -71,6 +96,16 @@ func NewLocal(cfg LocalConfig, prober zmap.Prober, reg *registry.Registry, maile
 	}
 	l := &Local{cfg: cfg}
 	l.server = NewServer(cfg.Server, prober, reg, mailer)
+	if cfg.Durable.Dir != "" {
+		// Recovery runs here: snapshot restore plus WAL replay through
+		// the normal event path, before the first regenerated hour.
+		dur, err := OpenDurable(cfg.Durable, l.server)
+		if err != nil {
+			return nil, err
+		}
+		l.durable = dur
+		l.skip = dur.Recovery().Events()
+	}
 	emit := func(e SamplerEvent) {
 		l.server.HandleEvent(e, l.availableAt)
 	}
@@ -84,8 +119,24 @@ func NewLocal(cfg LocalConfig, prober zmap.Prober, reg *registry.Registry, maile
 			l.stage.Enqueue(e, l.availableAt)
 		}
 	}
+	if l.durable != nil {
+		// The WAL sits ahead of delivery, in the sampler's (serial) emit
+		// order — the same order the classify stage re-serializes to, so
+		// log order always equals server apply order. The first skip
+		// events of a resumed run are already part of the recovered
+		// state: regeneration heals any torn-away WAL tail.
+		deliver := emit
+		emit = func(e SamplerEvent) {
+			if l.skip > 0 {
+				l.skip--
+				return
+			}
+			l.durable.Append(e, l.availableAt)
+			deliver(e)
+		}
+	}
 	l.sampler = NewSamplerWorkers(cfg.TRW, cfg.MinSamples, cfg.Workers, emit)
-	return l
+	return l, nil
 }
 
 // ProcessHour pushes one simulated hour through both halves. The hour's
@@ -100,6 +151,11 @@ func (l *Local) ProcessHour(pkts []packet.Packet, hour time.Time) {
 		l.stage.Drain()
 	}
 	l.server.Tick(l.availableAt)
+	if l.durable != nil && l.skip == 0 {
+		// Hour boundaries are the natural quiescent points; a pending
+		// scan batch defers the snapshot to a later hour.
+		l.durable.MaybeSnapshot(l.availableAt, false)
+	}
 }
 
 // Finish ends all live flows and flushes pending scans at the end of a
@@ -112,6 +168,21 @@ func (l *Local) Finish(now time.Time) {
 	}
 	l.server.FlushScans(l.availableAt)
 	l.server.Tick(l.availableAt)
+}
+
+// Durable exposes the persistence layer (nil when disabled).
+func (l *Local) Durable() *Durable { return l.durable }
+
+// Close finalizes persistence: a last snapshot is taken (the server is
+// quiescent after Finish, and the classify stage is drained, so every
+// logged event is in the exported state) and the state directory is
+// released. Safe to call with durability disabled.
+func (l *Local) Close() error {
+	if l.durable == nil {
+		return nil
+	}
+	l.durable.MaybeSnapshot(l.availableAt, true)
+	return l.durable.Close()
 }
 
 // Server exposes the feed-server half (API source, stores, counters).

@@ -111,6 +111,9 @@ type Server struct {
 	lastAttempt    time.Time
 	counters       Counters
 	lastModel      *trainer.TrainedModel
+	// onRetrain observes successful retrains (the durability layer logs
+	// a marker record). See setRetrainHook in durable.go.
+	onRetrain func(m *trainer.TrainedModel, now time.Time)
 
 	liveness *telemetry.Check
 }
@@ -395,7 +398,11 @@ func (s *Server) maybeRetrain(now time.Time) {
 	s.lastModel = m
 	s.lastRetrain = now
 	s.counters.ModelRetrains++
+	hook := s.onRetrain
 	s.mu.Unlock()
+	if hook != nil {
+		hook(m, now)
+	}
 }
 
 // RestoreModel loads the most recently archived model from dir and
@@ -428,7 +435,11 @@ func (s *Server) ForceRetrain(now time.Time) error {
 	s.lastModel = m
 	s.counters.ModelRetrains++
 	s.lastRetrain = now
+	hook := s.onRetrain
 	s.mu.Unlock()
+	if hook != nil {
+		hook(m, now)
+	}
 	return nil
 }
 

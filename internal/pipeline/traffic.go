@@ -66,6 +66,27 @@ func (t *trafficStats) snapshot(topPorts int) []TrafficHour {
 	return out
 }
 
+// export returns every hour bucket untrimmed (full port maps), sorted
+// by hour — the lossless form snapshots persist.
+func (t *trafficStats) export() []TrafficHour {
+	return t.snapshot(0)
+}
+
+// restore replaces the hour buckets with an exported state.
+func (t *trafficStats) restore(hours []TrafficHour) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.hours = make(map[time.Time]*TrafficHour, len(hours))
+	for _, h := range hours {
+		cp := h
+		cp.TopPorts = make(map[uint16]int, len(h.TopPorts))
+		for k, v := range h.TopPorts {
+			cp.TopPorts[k] = v
+		}
+		t.hours[h.Hour] = &cp
+	}
+}
+
 func trimPortMap(m map[uint16]int, n int) map[uint16]int {
 	if n <= 0 || len(m) <= n {
 		cp := make(map[uint16]int, len(m))

@@ -128,6 +128,12 @@ func (m *Module) Stats() (scanned, tagged int64) {
 	return m.scanned, m.tagged
 }
 
+// RestoreStats reinstates the lifetime counters from a snapshot so a
+// recovered server's dashboard totals match the uninterrupted run.
+func (m *Module) RestoreStats(scanned, tagged int64) {
+	m.scanned, m.tagged = scanned, tagged
+}
+
 // UnknownBanners exposes the rule base's unknown-banner dump.
 func (m *Module) UnknownBanners() []string {
 	return m.db.UnknownBanners()

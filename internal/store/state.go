@@ -1,0 +1,130 @@
+package store
+
+import (
+	"sort"
+	"time"
+)
+
+// This file is the durability surface of the store package: full-state
+// export/restore used by snapshots, plus mutation hooks that let the
+// durability layer observe write traffic (for snapshot cadence) without
+// the stores knowing anything about WALs.
+
+// Doc pairs a document with its ObjectID for export.
+type Doc[T any] struct {
+	ID    ObjectID `json:"id"`
+	Value T        `json:"value"`
+}
+
+// Export returns every live document with its ID, in insertion order —
+// the exact shape Restore accepts.
+func (c *Collection[T]) Export() []Doc[T] {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]Doc[T], 0, len(c.docs))
+	for _, id := range c.order {
+		doc, ok := c.docs[id]
+		if !ok {
+			continue
+		}
+		out = append(out, Doc[T]{ID: id, Value: doc})
+	}
+	return out
+}
+
+// Restore replaces the collection's contents with an exported state.
+// Insertion order follows the slice order. Neither telemetry counters
+// nor the mutation hook fire: a restore reconstructs state, it does not
+// re-perform operations.
+func (c *Collection[T]) Restore(docs []Doc[T]) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.docs = make(map[ObjectID]T, len(docs))
+	c.order = make([]ObjectID, 0, len(docs))
+	for _, d := range docs {
+		c.docs[d.ID] = d.Value
+		c.order = append(c.order, d.ID)
+	}
+}
+
+// KVItem is one exported key-value entry.
+type KVItem struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+	// ExpiresAt is the absolute expiry instant (zero = no expiry);
+	// exporting the absolute time keeps TTLs exact across a restart.
+	ExpiresAt time.Time `json:"expires_at,omitempty"`
+}
+
+// Export returns the live (unexpired) entries sorted by key.
+func (kv *KV) Export() []KVItem {
+	now := kv.clock()
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	out := make([]KVItem, 0, len(kv.data))
+	for k, e := range kv.data {
+		if !e.expiresAt.IsZero() && now.After(e.expiresAt) {
+			continue
+		}
+		out = append(out, KVItem{Key: k, Value: e.value, ExpiresAt: e.expiresAt})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Restore replaces the store's contents with an exported state. The
+// mutation hook does not fire.
+func (kv *KV) Restore(items []KVItem) {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	kv.data = make(map[string]kvEntry, len(items))
+	for _, it := range items {
+		kv.data[it.Key] = kvEntry{value: it.Value, expiresAt: it.ExpiresAt}
+	}
+}
+
+// Mutation describes one store write for observers.
+type Mutation struct {
+	// Op is the operation name: insert|update|delete|expire for
+	// collections, set|del for KV.
+	Op string
+	// ID is the affected document (collection mutations).
+	ID ObjectID
+	// Key is the affected key (KV mutations).
+	Key string
+}
+
+// SetHook installs fn to observe every mutation. The hook runs with the
+// store's lock held, so it must be fast and must not call back into the
+// store. Restore never fires it. Pass nil to remove.
+func (c *Collection[T]) SetHook(fn func(Mutation)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hook = fn
+}
+
+// SetHook installs fn to observe every KV mutation; same contract as
+// Collection.SetHook.
+func (kv *KV) SetHook(fn func(Mutation)) {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	kv.hook = fn
+}
+
+// ObjectIDCounterValue reports the process-global ObjectID counter, for
+// inclusion in snapshots.
+func ObjectIDCounterValue() uint64 {
+	return objectIDCounter.Load()
+}
+
+// BumpObjectIDCounter raises the process-global ObjectID counter to at
+// least v (never lowers it), so IDs minted after a restore cannot
+// collide with IDs already present in the restored state.
+func BumpObjectIDCounter(v uint64) {
+	for {
+		cur := objectIDCounter.Load()
+		if cur >= v || objectIDCounter.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

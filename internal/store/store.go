@@ -58,6 +58,8 @@ type Collection[T any] struct {
 	docs map[ObjectID]T
 	// order preserves insertion sequence for deterministic scans.
 	order []ObjectID
+	// hook observes mutations (see SetHook in state.go).
+	hook func(Mutation)
 }
 
 // NewCollection creates an empty collection.
@@ -73,6 +75,9 @@ func (c *Collection[T]) Insert(ts time.Time, doc T) ObjectID {
 	c.docs[id] = doc
 	c.order = append(c.order, id)
 	opInsert.Inc()
+	if c.hook != nil {
+		c.hook(Mutation{Op: "insert", ID: id})
+	}
 	return id
 }
 
@@ -98,6 +103,9 @@ func (c *Collection[T]) Update(id ObjectID, fn func(*T)) bool {
 	fn(&doc)
 	c.docs[id] = doc
 	opUpdate.Inc()
+	if c.hook != nil {
+		c.hook(Mutation{Op: "update", ID: id})
+	}
 	return true
 }
 
@@ -154,6 +162,9 @@ func (c *Collection[T]) Delete(id ObjectID) bool {
 	}
 	delete(c.docs, id)
 	opDelete.Inc()
+	if c.hook != nil {
+		c.hook(Mutation{Op: "delete", ID: id})
+	}
 	return true
 }
 
@@ -172,6 +183,9 @@ func (c *Collection[T]) Expire(cutoff time.Time) int {
 		if id.Time().Before(cutoff) {
 			delete(c.docs, id)
 			removed++
+			if c.hook != nil {
+				c.hook(Mutation{Op: "expire", ID: id})
+			}
 			continue
 		}
 		keep = append(keep, id)
@@ -186,6 +200,8 @@ type KV struct {
 	mu    sync.RWMutex
 	data  map[string]kvEntry
 	clock func() time.Time
+	// hook observes mutations (see SetHook in state.go).
+	hook func(Mutation)
 }
 
 type kvEntry struct {
@@ -215,6 +231,9 @@ func (kv *KV) SetTTL(key, value string, ttl time.Duration) {
 	}
 	kv.mu.Lock()
 	kv.data[key] = e
+	if kv.hook != nil {
+		kv.hook(Mutation{Op: "set", Key: key})
+	}
 	kv.mu.Unlock()
 }
 
@@ -241,6 +260,9 @@ func (kv *KV) Del(key string) bool {
 		return false
 	}
 	delete(kv.data, key)
+	if kv.hook != nil {
+		kv.hook(Mutation{Op: "del", Key: key})
+	}
 	return true
 }
 

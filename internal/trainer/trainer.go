@@ -9,7 +9,6 @@
 package trainer
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -225,19 +224,9 @@ func (t *Trainer) Retrain(now time.Time) (*TrainedModel, error) {
 		TestSize:   test.Len(),
 	}
 	if t.cfg.ModelDir != "" {
-		normRaw, err := json.Marshal(norm)
+		saved, err := m.Saved(t.cfg.WindowDays)
 		if err != nil {
-			return nil, fmt.Errorf("trainer: encode normalizer: %w", err)
-		}
-		saved := &ml.SavedModel{
-			TrainedAt:    now,
-			WindowDays:   t.cfg.WindowDays,
-			TrainSamples: m.TrainSize,
-			TestSamples:  m.TestSize,
-			AUC:          m.AUC,
-			F1:           m.F1,
-			Forest:       forest,
-			Normalizer:   normRaw,
+			return nil, err
 		}
 		if _, err := ml.SaveModel(t.cfg.ModelDir, saved); err != nil {
 			return nil, fmt.Errorf("trainer: archive: %w", err)
@@ -257,28 +246,7 @@ func LoadLatest(dir string) (*TrainedModel, error) {
 	if err != nil {
 		return nil, err
 	}
-	if saved == nil {
-		return nil, nil
-	}
-	m := &TrainedModel{
-		Forest:    saved.Forest,
-		TrainedAt: saved.TrainedAt,
-		AUC:       saved.AUC,
-		F1:        saved.F1,
-		TrainSize: saved.TrainSamples,
-		TestSize:  saved.TestSamples,
-	}
-	if len(saved.Normalizer) > 0 {
-		var norm features.Normalizer
-		if err := json.Unmarshal(saved.Normalizer, &norm); err != nil {
-			return nil, fmt.Errorf("trainer: decode normalizer: %w", err)
-		}
-		m.Normalizer = &norm
-	}
-	if m.Normalizer == nil {
-		return nil, fmt.Errorf("trainer: archived model %s lacks a normalizer", saved.TrainedAt)
-	}
-	return m, nil
+	return FromSaved(saved)
 }
 
 // ModelComparison is one row of the paper's preliminary RF/SVM/GNB
