@@ -5,6 +5,7 @@
 //	exiotctl -server http://127.0.0.1:8080 -key dev-key snapshot
 //	exiotctl records -label IoT -country CN -limit 20
 //	exiotctl record 203.0.113.7
+//	exiotctl trace 203.0.113.7
 //	exiotctl stats ports
 //	exiotctl campaigns
 //	exiotctl export > feed.ndjson
@@ -30,6 +31,8 @@ import (
 	"strings"
 
 	"exiot/internal/durable"
+	"exiot/internal/pipeline"
+	"exiot/internal/wire"
 )
 
 func main() {
@@ -39,7 +42,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: exiotctl [flags] snapshot|records|record <ip>|stats <kind>|campaigns|export|alert|state")
+		fmt.Fprintln(os.Stderr, "usage: exiotctl [flags] snapshot|records|record <ip>|trace <ip>|stats <kind>|campaigns|export|alert|state")
 		os.Exit(2)
 	}
 	if err := run(*server, *key, flag.Args()); err != nil {
@@ -78,6 +81,13 @@ func run(server, key string, args []string) error {
 			return fmt.Errorf("usage: exiotctl record <ip>")
 		}
 		return c.get("/api/v1/records/"+args[1], nil)
+	case "trace":
+		// Replays a record's full lineage: provenance summary plus the
+		// per-stage timing spans when the event was traced.
+		if len(args) < 2 {
+			return fmt.Errorf("usage: exiotctl trace <ip>")
+		}
+		return c.get("/api/v1/records/"+args[1]+"/why", nil)
 	case "campaigns":
 		return c.get("/api/v1/campaigns", nil)
 	case "export":
@@ -141,7 +151,7 @@ func runState(args []string) error {
 			return nil
 		}
 		printStateReport(info)
-		return nil
+		return printWALTraces(*dir)
 	case "verify":
 		problems, err := durable.Verify(*dir)
 		if err != nil {
@@ -184,6 +194,46 @@ func printStateReport(info *durable.DirInfo) {
 		fmt.Printf("  %s  %8d bytes  seq %d..%d  %d records (%d events, %d retrains)  %s\n",
 			s.Name, s.Size, s.FirstSeq, s.LastSeq, s.Records, s.Events, s.Retrains, status)
 	}
+}
+
+// printWALTraces decodes the sampler events logged in the WAL and lists
+// their deterministic trace IDs — the offline half of a forensics join:
+// the same IDs key the live server's /traces store and each feed
+// record's provenance.trace_id.
+func printWALTraces(dir string) error {
+	type line struct {
+		seq  uint64
+		kind string
+		ip   string
+		id   string
+	}
+	var lines []line
+	err := durable.ScanRecords(dir, func(rec durable.Record) error {
+		if rec.Type != durable.RecordEvent {
+			return nil
+		}
+		e, err := pipeline.DecodeEvent(wire.Frame{Kind: wire.Kind(rec.Kind), Payload: rec.Payload})
+		if err != nil || e.TraceID == 0 {
+			return nil // reports and pre-tracing events carry no ID
+		}
+		l := line{seq: rec.Seq, id: e.TraceID.String()}
+		switch e.Kind {
+		case pipeline.SamplerBatch:
+			l.kind, l.ip = "batch", e.Batch.IPString
+		case pipeline.SamplerFlowEnd:
+			l.kind, l.ip = "flow_end", e.IP.String()
+		}
+		lines = append(lines, l)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("traced wal events (%d):\n", len(lines))
+	for _, l := range lines {
+		fmt.Printf("  seq %6d  %-8s  %-15s  trace %s\n", l.seq, l.kind, l.ip, l.id)
+	}
+	return nil
 }
 
 type client struct {

@@ -30,6 +30,7 @@ import (
 	"exiot/internal/pipeline"
 	"exiot/internal/simnet"
 	"exiot/internal/telemetry"
+	"exiot/internal/trace"
 	"exiot/internal/wire"
 )
 
@@ -55,8 +56,13 @@ func main() {
 		stateDir  = flag.String("state-dir", "", "durable state directory (WAL + snapshots; recover on start, empty disables)")
 		stateSync = flag.String("state-sync", "interval", "WAL fsync policy: always|interval|off")
 		stateSnap = flag.Duration("state-snapshot-every", 6*time.Hour, "simulated-time snapshot cadence")
+
+		traceSample = flag.Int("trace-sample", 0, "trace every Nth sampler event: 0 disables, 1 traces all (feed bytes are identical either way)")
+		traceSlow   = flag.Duration("trace-slow", 0, "log completed traces slower than this end-to-end (0 disables the slow log)")
 	)
 	flag.Parse()
+	trace.Default().SetSampleEvery(*traceSample)
+	trace.Default().SetSlowThreshold(*traceSlow)
 	dcfg := pipeline.DurableConfig{
 		Dir:           *stateDir,
 		Sync:          durable.SyncPolicy(*stateSync),
@@ -76,12 +82,15 @@ func run(listen, apiAddr, apiKey string, simulate bool, hours int, seed int64,
 		// pprof and needs no key. The API's own /metrics and /healthz stay
 		// available either way.
 		mux := telemetry.NewMux(telemetry.Default(), telemetry.DefaultHealth(), true)
+		// The trace store rides the operator mux: /traces (list) and
+		// /traces/{id} (span detail).
+		trace.Default().Store().Register(mux)
 		go func() {
 			if err := http.ListenAndServe(telAddr, mux); err != nil {
 				log.Printf("telemetry listener: %v", err)
 			}
 		}()
-		fmt.Printf("telemetry on http://%s (/metrics, /healthz, /debug/pprof)\n", telAddr)
+		fmt.Printf("telemetry on http://%s (/metrics, /healthz, /traces, /debug/pprof)\n", telAddr)
 	}
 
 	wcfg := simnet.DefaultConfig(seed)
@@ -190,11 +199,15 @@ func run(listen, apiAddr, apiKey string, simulate bool, hours int, seed int64,
 			defer dur.Close()
 		}
 		recv, err := wire.NewReceiver(listen, func(f wire.Frame) {
+			receivedAt := time.Now()
 			e, err := pipeline.DecodeEvent(f)
 			if err != nil {
 				log.Printf("decode frame: %v", err)
 				return
 			}
+			// Events selected by the sender's deterministic trace ID pick
+			// their trace back up here with a wire-receive span.
+			pipeline.TraceIncoming(&e, receivedAt)
 			// In split mode events carry their own (simulated) times; the
 			// feed stamps them with the configured pipeline delay.
 			availableAt := eventTime(e).Add(pcfg.CollectionDelay).Add(pcfg.ProcessingDelay)

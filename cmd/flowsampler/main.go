@@ -22,6 +22,7 @@ import (
 	"exiot/internal/pcapio"
 	"exiot/internal/pipeline"
 	"exiot/internal/telemetry"
+	"exiot/internal/trace"
 	"exiot/internal/trw"
 	"exiot/internal/wire"
 )
@@ -35,8 +36,13 @@ func main() {
 		threshold  = flag.Int("threshold", 100, "TRW detection threshold (packets)")
 		sampleSize = flag.Int("sample", 200, "post-detection sample size (packets)")
 		workers    = flag.Int("workers", 0, "detection workers (0 = GOMAXPROCS, 1 = serial)")
+
+		traceSample = flag.Int("trace-sample", 0, "trace every Nth sampler event: 0 disables, 1 traces all (shipped events keep their IDs)")
+		traceSlow   = flag.Duration("trace-slow", 0, "log completed traces slower than this end-to-end (0 disables the slow log)")
 	)
 	flag.Parse()
+	trace.Default().SetSampleEvery(*traceSample)
+	trace.Default().SetSlowThreshold(*traceSlow)
 	if err := run(*in, *connect, *follow, *pollEvery, *threshold, *sampleSize, *workers); err != nil {
 		log.Fatal(err)
 	}
@@ -51,6 +57,10 @@ func run(in, connect string, follow bool, pollEvery time.Duration, threshold, sa
 	cfg.DetectionThreshold = threshold
 	cfg.SampleSize = sampleSize
 	sampler := pipeline.NewSamplerWorkers(cfg, 0, workers, func(e pipeline.SamplerEvent) {
+		var sendStart time.Time
+		if e.Trace != nil {
+			sendStart = time.Now()
+		}
 		kind, data, err := pipeline.EncodeEvent(e)
 		if err != nil {
 			sendErr = err
@@ -59,6 +69,12 @@ func run(in, connect string, follow bool, pollEvery time.Duration, threshold, sa
 		// Send blocks (idle) through outages; nothing is dropped.
 		if err := sender.Send(kind, data); err != nil {
 			sendErr = err
+		}
+		if e.Trace != nil {
+			// The trace's sampler-side life ends at the send; the feed
+			// server re-samples the same deterministic ID on receive.
+			e.Trace.Span("wire", sendStart, sendStart, trace.Int("bytes", len(data)))
+			trace.Default().Finish(e.Trace)
 		}
 	})
 

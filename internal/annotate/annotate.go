@@ -8,6 +8,7 @@ package annotate
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -19,6 +20,7 @@ import (
 	"exiot/internal/organizer"
 	"exiot/internal/recog"
 	"exiot/internal/telemetry"
+	"exiot/internal/trace"
 	"exiot/internal/zmap"
 )
 
@@ -93,6 +95,13 @@ type Job struct {
 	// RawErr carries a failed precomputation; the job is rejected with
 	// it, exactly as if the computation had failed here.
 	RawErr error
+	// PortsProbed is the active-measurement port count per host
+	// (provenance; 0 when the caller has no scanner).
+	PortsProbed int
+	// Trace is the flow's live trace (nil when untraced). Annotation
+	// records "annotate" and "enrich" spans on it; the record's
+	// provenance is built either way.
+	Trace *trace.Flow
 }
 
 // AnnotateBatch annotates many flows at once: feature extraction,
@@ -113,6 +122,10 @@ func (a *Annotator) AnnotateBatch(jobs []Job, workers int) ([]feed.Record, []err
 
 	prepare := func(i int) {
 		j := &jobs[i]
+		var annStart time.Time
+		if j.Trace != nil {
+			annStart = time.Now()
+		}
 		if j.RawErr != nil {
 			errs[i] = fmt.Errorf("annotate %s: %w", j.Batch.IPString, j.RawErr)
 			return
@@ -160,7 +173,32 @@ func (a *Annotator) AnnotateBatch(jobs []Job, workers int) ([]feed.Record, []err
 			rec.Score = 0.5
 			rec.LabelSource = SourceNone
 		}
+		var enrichStart time.Time
+		if j.Trace != nil {
+			enrichStart = time.Now()
+		}
 		a.enricher.Annotate(&rec, j.Batch.IP, j.Batch.Sample)
+		sources := enrichSources(&rec)
+		rec.Provenance = &feed.Provenance{
+			TraceID:       provenanceID(j.Batch.TraceID),
+			TriggerHour:   j.Batch.DetectedAt.Truncate(time.Hour),
+			SampleSize:    len(j.Batch.Sample),
+			PortsProbed:   j.PortsProbed,
+			EnrichSources: sources,
+		}
+		if j.Scan != nil {
+			rec.Provenance.OpenPorts = len(j.Scan.OpenPorts)
+			rec.Provenance.BannersGrabbed = len(j.Scan.Banners)
+		}
+		if j.Match != nil {
+			rec.Provenance.BannerRule = j.Match.Rule
+		}
+		if j.Trace != nil {
+			j.Trace.Span("enrich", enrichStart, enrichStart,
+				trace.Str("sources", joinSources(sources)))
+			j.Trace.SpanAt("annotate", annStart, annStart, enrichStart,
+				trace.Str("label_source", rec.LabelSource))
+		}
 		recs[i] = rec
 	}
 	runIndexed(len(jobs), workers, prepare)
@@ -212,8 +250,56 @@ func (a *Annotator) AnnotateBatch(jobs []Job, workers int) ([]feed.Record, []err
 			// surfacing as "Desktop (non-IoT)" with the detected tool.
 			recs[i].DeviceType = string(device.TypeDesktop)
 		}
+		// The vote margin is only final after batched inference, hence
+		// here rather than in prepare. |2·0.5−1| = 0 for bootstrap
+		// records, 1 for banner ground truth.
+		recs[i].Provenance.VoteMargin = math.Abs(2*recs[i].Score - 1)
 	}
 	return recs, errs
+}
+
+// provenanceID renders a trace ID for provenance ("" when unset, so the
+// field is omitted from pre-tracing records).
+func provenanceID(id trace.ID) string {
+	if id == 0 {
+		return ""
+	}
+	return id.String()
+}
+
+// enrichSources lists the enrichment lookups that contributed fields to
+// a record, in a fixed order (the list is part of the deterministic
+// feed output).
+func enrichSources(rec *feed.Record) []string {
+	var out []string
+	if rec.CountryCode != "" || rec.Country != "" {
+		out = append(out, "geo")
+	}
+	if rec.ASN != 0 || rec.ISP != "" {
+		out = append(out, "whois")
+	}
+	if rec.RDNS != "" {
+		out = append(out, "rdns")
+	}
+	if rec.Tool != "" {
+		out = append(out, "tool-fingerprint")
+	}
+	if rec.Benign {
+		out = append(out, "benign-list")
+	}
+	return out
+}
+
+// joinSources renders the source list for a span attribute.
+func joinSources(sources []string) string {
+	if len(sources) == 0 {
+		return "none"
+	}
+	s := sources[0]
+	for _, x := range sources[1:] {
+		s += "," + x
+	}
+	return s
 }
 
 // runIndexed runs fn(0..n-1) across up to workers goroutines (serially

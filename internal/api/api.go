@@ -18,6 +18,7 @@ import (
 	"exiot/internal/notify"
 	"exiot/internal/packet"
 	"exiot/internal/telemetry"
+	"exiot/internal/trace"
 )
 
 // Telemetry handles for the API layer (see docs/OPERATIONS.md).
@@ -78,6 +79,22 @@ type TrafficSource interface {
 	Traffic() []TrafficHour
 }
 
+// WhyReport answers "why is this IP in the feed?": the record with its
+// provenance summary plus, when the event was traced and the trace is
+// still retained, the full span-by-span timing lineage.
+type WhyReport struct {
+	Record feed.Record `json:"record"`
+	// Trace is the retained timing detail for the record's trace ID (nil
+	// when the event was untraced or the trace rotated out of the store).
+	Trace *trace.Detail `json:"trace,omitempty"`
+}
+
+// WhySource is optionally implemented by backends that can join a feed
+// record with its trace lineage.
+type WhySource interface {
+	Why(ip string) (WhyReport, bool)
+}
+
 // Server is the authenticated REST API server.
 type Server struct {
 	source   Source
@@ -123,6 +140,7 @@ func (s *Server) routes() []route {
 		ep("GET", "/api/v1/snapshot", "snapshot", true, s.handleSnapshot),
 		ep("GET", "/api/v1/records", "records", true, s.handleRecords),
 		ep("GET", "/api/v1/records/{ip}", "record_by_ip", true, s.handleRecordByIP),
+		ep("GET", "/api/v1/records/{ip}/why", "record_why", true, s.handleWhy),
 		ep("GET", "/api/v1/stats/countries", "stats_countries", true, s.statsHandler("countries")),
 		ep("GET", "/api/v1/stats/ports", "stats_ports", true, s.statsHandler("ports")),
 		ep("GET", "/api/v1/stats/vendors", "stats_vendors", true, s.statsHandler("vendors")),
@@ -284,6 +302,27 @@ func (s *Server) handleRecordByIP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, rec)
+}
+
+// handleWhy serves a record's full provenance: the feed entry plus its
+// retained trace detail, when the backend can join the two.
+func (s *Server) handleWhy(w http.ResponseWriter, r *http.Request) {
+	ws, ok := s.source.(WhySource)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "backend does not track record provenance")
+		return
+	}
+	ip := r.PathValue("ip")
+	if _, err := packet.ParseIP(ip); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid ip")
+		return
+	}
+	rep, ok := ws.Why(ip)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no record for "+ip)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
 }
 
 func (s *Server) statsHandler(kind string) http.HandlerFunc {

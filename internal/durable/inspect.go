@@ -135,6 +135,29 @@ func Verify(dir string) ([]string, error) {
 	return info.Problems(), nil
 }
 
+// ScanRecords streams every valid WAL record in dir to fn, in segment
+// then sequence order, without a Manager. Offline forensics tooling
+// (`exiotctl state inspect`) uses it to decode the logged events — e.g.
+// to list the trace IDs recorded in sampler batches for joining against
+// a live server's /traces store. Torn segment tails are skipped, not
+// errors; fn returning an error stops the scan.
+func ScanRecords(dir string, fn func(Record) error) error {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return fmt.Errorf("durable: list segments: %w", err)
+	}
+	for _, name := range segs {
+		sc, err := scanSegment(filepath.Join(dir, name), fn)
+		if err != nil {
+			return fmt.Errorf("durable: scan %s: %w", name, err)
+		}
+		if sc.headerErr != nil {
+			continue // unreadable segment; Inspect/Verify report it
+		}
+	}
+	return nil
+}
+
 // RecordOffsets returns the byte offset of every valid record in one
 // segment file, plus the offset just past the last valid record. Tests
 // (and the kill-and-recover harness) use it to truncate a log at an

@@ -77,6 +77,39 @@ type Record struct {
 	// Active measurement results.
 	OpenPorts []uint16      `json:"open_ports,omitempty"`
 	Banners   []zmap.Banner `json:"banners,omitempty"`
+
+	// Provenance summarizes how the record came to be (detection →
+	// probe → classification → enrichment). Always attached, always
+	// deterministic: it contains no wall-clock timings, so the feed is
+	// byte-identical with tracing on or off and at any worker count.
+	Provenance *Provenance `json:"provenance,omitempty"`
+}
+
+// Provenance is a record's compact lineage summary: the evidence an
+// analyst needs to answer "why is this IP in the feed?" and the trace
+// ID joining the record to the /traces timing store and offline WAL
+// forensics.
+type Provenance struct {
+	// TraceID is the deterministic per-event trace identifier (hex).
+	TraceID string `json:"trace_id,omitempty"`
+	// TriggerHour is the detection hour the trace ID derives from.
+	TriggerHour time.Time `json:"trigger_hour"`
+	// SampleSize is how many packets the sampler captured post-trigger.
+	SampleSize int `json:"sample_size"`
+	// PortsProbed / OpenPorts / BannersGrabbed summarize the active
+	// measurement sweep.
+	PortsProbed    int `json:"ports_probed"`
+	OpenPorts      int `json:"open_ports"`
+	BannersGrabbed int `json:"banners_grabbed"`
+	// BannerRule names the fingerprint rule that labeled the record
+	// (banner-labeled records only).
+	BannerRule string `json:"banner_rule,omitempty"`
+	// VoteMargin is |2·score − 1|: the forest's (or the banner ground
+	// truth's) distance from a coin flip. 0 means an unclassified
+	// bootstrap record.
+	VoteMargin float64 `json:"vote_margin,omitempty"`
+	// EnrichSources lists which enrichment lookups contributed fields.
+	EnrichSources []string `json:"enrich_sources,omitempty"`
 }
 
 // IsIoT reports whether the record is labeled IoT.

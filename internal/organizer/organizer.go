@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"exiot/internal/packet"
+	"exiot/internal/trace"
 	"exiot/internal/trw"
 )
 
@@ -31,6 +32,10 @@ type Batch struct {
 	// SampleSize is serialized in place of raw packets (the wire carries
 	// packets in binary, not JSON).
 	SampleSize int `json:"sample_size"`
+	// TraceID is the sampler-assigned deterministic trace identifier; it
+	// rides the wire in the batch header so both sides of a split
+	// deployment (and WAL replays) agree on it.
+	TraceID trace.ID `json:"trace_id,omitempty"`
 }
 
 // Organizer filters and normalizes sampled flows.

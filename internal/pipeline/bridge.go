@@ -7,6 +7,7 @@ import (
 
 	"exiot/internal/organizer"
 	"exiot/internal/packet"
+	"exiot/internal/trace"
 	"exiot/internal/trw"
 	"exiot/internal/wire"
 )
@@ -15,12 +16,15 @@ import (
 // encodes sampler events into frames the flowsampler binary ships to the
 // exiotd feed server, and decodes them on the other side.
 
-// flowEndMsg is the wire payload of a flow-end event.
+// flowEndMsg is the wire payload of a flow-end event. TraceID is
+// omitted when zero, so frames from senders predating tracing still
+// decode.
 type flowEndMsg struct {
 	IP         string    `json:"ip"`
 	FirstSeen  time.Time `json:"first_seen"`
 	DetectedAt time.Time `json:"detected_at"`
 	LastSeen   time.Time `json:"last_seen"`
+	TraceID    trace.ID  `json:"trace_id,omitempty"`
 }
 
 // EncodeEvent serializes a sampler event for the wire.
@@ -38,6 +42,7 @@ func EncodeEvent(e SamplerEvent) (wire.Kind, []byte, error) {
 			FirstSeen:  e.FirstSeen,
 			DetectedAt: e.DetectedAt,
 			LastSeen:   e.LastSeen,
+			TraceID:    e.TraceID,
 		})
 		if err != nil {
 			return 0, nil, fmt.Errorf("encode flow end: %w", err)
@@ -62,7 +67,7 @@ func DecodeEvent(f wire.Frame) (SamplerEvent, error) {
 		if err != nil {
 			return SamplerEvent{}, err
 		}
-		return SamplerEvent{Kind: SamplerBatch, Batch: &b}, nil
+		return SamplerEvent{Kind: SamplerBatch, Batch: &b, TraceID: b.TraceID}, nil
 	case wire.KindFlowEnd:
 		var msg flowEndMsg
 		if err := json.Unmarshal(f.Payload, &msg); err != nil {
@@ -78,6 +83,7 @@ func DecodeEvent(f wire.Frame) (SamplerEvent, error) {
 			FirstSeen:  msg.FirstSeen,
 			DetectedAt: msg.DetectedAt,
 			LastSeen:   msg.LastSeen,
+			TraceID:    msg.TraceID,
 		}, nil
 	case wire.KindReport:
 		var rep trw.SecondReport
@@ -88,4 +94,38 @@ func DecodeEvent(f wire.Frame) (SamplerEvent, error) {
 	default:
 		return SamplerEvent{}, fmt.Errorf("decode event: unknown frame kind %d", f.Kind)
 	}
+}
+
+// TraceIncoming starts a trace for a decoded wire event on the
+// receiving side, recording the transport hop as a "wire" span
+// (receivedAt = the instant the frame arrived, before decoding). The
+// sampling decision is a pure function of the wire-carried trace ID, so
+// sender and receiver select the same events. No-op when tracing is off
+// or the event carries no ID.
+func TraceIncoming(e *SamplerEvent, receivedAt time.Time) {
+	if e.TraceID == 0 || !trace.Default().Enabled() {
+		return
+	}
+	f := trace.Default().Sample(e.TraceID, e.traceIP(), e.traceKind())
+	if f == nil {
+		return
+	}
+	f.Span("wire", receivedAt, receivedAt)
+	e.Trace = f
+}
+
+// traceIP renders the event's source address for trace metadata.
+func (e *SamplerEvent) traceIP() string {
+	if e.Kind == SamplerBatch && e.Batch != nil {
+		return e.Batch.IPString
+	}
+	return e.IP.String()
+}
+
+// traceKind renders the event kind for trace metadata.
+func (e *SamplerEvent) traceKind() string {
+	if e.Kind == SamplerBatch {
+		return "batch"
+	}
+	return "flow_end"
 }

@@ -7,6 +7,7 @@ import (
 
 	"exiot/internal/features"
 	"exiot/internal/telemetry"
+	"exiot/internal/trace"
 )
 
 // Telemetry handles for the classify stage's worker pool (see
@@ -32,6 +33,9 @@ type classifyJob struct {
 	// Worker-computed feature vector for SamplerBatch events.
 	raw    []float64
 	rawErr error
+	// enqueuedAt stamps traced events at Enqueue so the classify span
+	// can split queue wait from work time (zero when untraced).
+	enqueuedAt time.Time
 }
 
 // ClassifyStage is the parallel back half's front door: a bounded worker
@@ -104,6 +108,9 @@ func (st *ClassifyStage) Enqueue(e SamplerEvent, availableAt time.Time) {
 		return
 	}
 	job := &classifyJob{seq: st.enqueued, e: e, availableAt: availableAt}
+	if e.Trace != nil {
+		job.enqueuedAt = time.Now()
+	}
 	st.enqueued++
 	metClassifyQueueDepth.Add(1)
 	st.mu.Unlock()
@@ -117,11 +124,19 @@ func (st *ClassifyStage) worker() {
 	for job := range st.in {
 		metClassifyQueueDepth.Add(-1)
 		metClassifyInflight.Add(1)
+		var workStart time.Time
+		if job.e.Trace != nil {
+			workStart = time.Now()
+		}
 		if job.e.Kind == SamplerBatch {
 			// One allocation per event for the vector itself — it is
 			// retained downstream (the trainer keeps banner-labeled
 			// vectors) — but the extraction scratch is reused.
 			job.raw, job.rawErr = scratch.RawVectorInto(nil, job.e.Batch.Sample)
+		}
+		if job.e.Trace != nil {
+			job.e.Trace.Span("classify", job.enqueuedAt, workStart,
+				trace.Int("workers", st.workers))
 		}
 		metClassifyInflight.Add(-1)
 		st.mu.Lock()

@@ -13,6 +13,7 @@ import (
 	"exiot/internal/organizer"
 	"exiot/internal/packet"
 	"exiot/internal/telemetry"
+	"exiot/internal/trace"
 	"exiot/internal/trw"
 )
 
@@ -62,6 +63,15 @@ type SamplerEvent struct {
 
 	// Report is set for SamplerReport events.
 	Report *trw.SecondReport
+
+	// TraceID is the deterministic per-event trace identifier (zero for
+	// reports). Batch events additionally carry it in the batch header so
+	// it survives the wire and the WAL.
+	TraceID trace.ID
+
+	// Trace is the live trace for sampled events; nil when tracing is
+	// off or the event was not selected. Never serialized.
+	Trace *trace.Flow
 }
 
 // Sampler is the CAIDA-side half: TRW detection plus the packet
@@ -80,6 +90,11 @@ type Sampler struct {
 
 	hoursProcessed int
 	packetsTotal   int64
+	// eventSeq counts every emitted event. Emission happens serially on
+	// the caller's goroutine in deterministic order (the sharded
+	// detector's merge is identical to the serial stream), so trace IDs
+	// derived from it are identical at any worker count.
+	eventSeq uint64
 
 	// liveness is the ingest health check beaten on every processed hour.
 	liveness *telemetry.Check
@@ -130,26 +145,60 @@ func (s *Sampler) Workers() int { return s.workers }
 func (s *Sampler) onDetectorEvent(e trw.Event) {
 	switch e.Kind {
 	case trw.EventSample:
+		var t0 time.Time
+		traceOn := trace.Default().Enabled()
+		if traceOn {
+			t0 = time.Now()
+		}
 		if b, ok := s.org.Organize(e); ok {
 			s.accepted.Inc()
 			s.evBatch.Inc()
-			s.emit(SamplerEvent{Kind: SamplerBatch, Batch: &b})
+			b.TraceID = trace.NewID(b.IP, b.DetectedAt.Truncate(time.Hour), s.eventSeq)
+			ev := SamplerEvent{Kind: SamplerBatch, Batch: &b, TraceID: b.TraceID}
+			if traceOn {
+				if f := trace.Default().Sample(b.TraceID, b.IPString, "batch"); f != nil {
+					f.Span("sampler", t0, t0,
+						trace.Int("sample_size", len(b.Sample)),
+						trace.Str("trigger_hour", b.DetectedAt.Truncate(time.Hour).Format(time.RFC3339)),
+						trace.Float("detect_lag_s", b.DetectedAt.Sub(b.FirstSeen).Seconds()))
+					ev.Trace = f
+				}
+			}
+			s.emitSeq(ev)
 		} else {
 			s.dropped.Inc()
 		}
 	case trw.EventFlowEnd:
 		s.evFlowEnd.Inc()
-		s.emit(SamplerEvent{
+		ev := SamplerEvent{
 			Kind:       SamplerFlowEnd,
 			IP:         e.IP,
 			FirstSeen:  e.FirstSeen,
 			DetectedAt: e.DetectedAt,
 			LastSeen:   e.LastSeen,
-		})
+			TraceID:    trace.NewID(e.IP, e.DetectedAt.Truncate(time.Hour), s.eventSeq),
+		}
+		if trace.Default().Enabled() {
+			if f := trace.Default().Sample(ev.TraceID, e.IP.String(), "flow_end"); f != nil {
+				now := time.Now()
+				f.SpanAt("sampler", now, now, now)
+				ev.Trace = f
+			}
+		}
+		s.emitSeq(ev)
 	case trw.EventSecondReport:
 		s.evReport.Inc()
-		s.emit(SamplerEvent{Kind: SamplerReport, Report: e.Report})
+		s.emitSeq(SamplerEvent{Kind: SamplerReport, Report: e.Report})
 	}
+}
+
+// emitSeq delivers one event downstream and advances the event
+// sequence. Every emitted event consumes a sequence number — reports
+// too, though they carry no trace ID — so the numbering (and therefore
+// every trace ID) is a stable property of the event stream itself.
+func (s *Sampler) emitSeq(e SamplerEvent) {
+	s.eventSeq++
+	s.emit(e)
 }
 
 // ProcessHour consumes one hour of telescope packets (sorted by time) and

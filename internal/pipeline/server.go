@@ -19,6 +19,7 @@ import (
 	"exiot/internal/scanmod"
 	"exiot/internal/store"
 	"exiot/internal/telemetry"
+	"exiot/internal/trace"
 	"exiot/internal/trainer"
 	"exiot/internal/zmap"
 )
@@ -125,6 +126,11 @@ type pendingFlow struct {
 	// (nil when the event arrived on the serial path).
 	raw    []float64
 	rawErr error
+	// trace is the flow's live trace (nil when untraced); scanEnq stamps
+	// when the flow entered the scan-module buffer so the scanmod span
+	// can report the batching wait.
+	trace   *trace.Flow
+	scanEnq time.Time
 }
 
 // NewServer assembles the feed-server half. prober answers active
@@ -191,7 +197,7 @@ func (s *Server) handlePrepared(e SamplerEvent, raw []float64, rawErr error, ava
 
 	switch e.Kind {
 	case SamplerBatch:
-		s.handleBatch(e.Batch, raw, rawErr, availableAt)
+		s.handleBatch(e.Batch, raw, rawErr, availableAt, e.Trace)
 	case SamplerFlowEnd:
 		s.handleFlowEnd(e, availableAt)
 	case SamplerReport:
@@ -203,9 +209,13 @@ func (s *Server) handlePrepared(e SamplerEvent, raw []float64, rawErr error, ava
 	s.Tick(availableAt)
 }
 
-func (s *Server) handleBatch(b *organizer.Batch, raw []float64, rawErr error, availableAt time.Time) {
+func (s *Server) handleBatch(b *organizer.Batch, raw []float64, rawErr error, availableAt time.Time, flow *trace.Flow) {
+	pf := &pendingFlow{batch: b, availableAt: availableAt, raw: raw, rawErr: rawErr, trace: flow}
+	if flow != nil {
+		pf.scanEnq = time.Now()
+	}
 	s.mu.Lock()
-	s.pendingBatches[b.IP] = &pendingFlow{batch: b, availableAt: availableAt, raw: raw, rawErr: rawErr}
+	s.pendingBatches[b.IP] = pf
 	s.mu.Unlock()
 	// The paper probes scanners immediately upon detection; the scan
 	// module batches up to BatchSize/BatchWait before the sweep runs.
@@ -234,32 +244,57 @@ func (s *Server) resolveTagged(tagged []scanmod.Tagged, now time.Time) {
 	}
 	s.mu.Unlock()
 
+	// Traced flows get their scan-module spans here: the batching wait
+	// (enqueue → flush start) and the probe sweep window itself.
+	fw := s.scanMod.LastFlush()
+	portsPerHost := s.scanMod.PortsPerHost()
+
 	jobs := make([]annotate.Job, 0, len(tagged))
 	for i := range tagged {
 		pf := flows[i]
 		if pf == nil {
 			continue // flow was dropped by the organizer
 		}
+		if pf.trace != nil {
+			pf.trace.SpanAt("scanmod", pf.scanEnq, fw.Start, fw.Start,
+				trace.Int("batch_hosts", fw.Hosts))
+			pf.trace.SpanAt("probe", fw.Start, fw.Start, fw.End,
+				trace.Int("ports_probed", portsPerHost),
+				trace.Int("open_ports", len(tagged[i].Result.OpenPorts)),
+				trace.Int("banners", len(tagged[i].Result.Banners)))
+		}
 		jobs = append(jobs, annotate.Job{
-			Batch:  pf.batch,
-			Scan:   &tagged[i].Result,
-			Match:  tagged[i].Match,
-			Raw:    pf.raw,
-			RawErr: pf.rawErr,
+			Batch:       pf.batch,
+			Scan:        &tagged[i].Result,
+			Match:       tagged[i].Match,
+			Raw:         pf.raw,
+			RawErr:      pf.rawErr,
+			PortsProbed: portsPerHost,
+			Trace:       pf.trace,
 		})
 	}
 	recs, errs := s.annotator.AnnotateBatch(jobs, s.workers)
 	for k := range jobs {
 		if errs[k] != nil {
-			continue // malformed flow; nothing to record
+			// Malformed flow; nothing to record. Close out its trace so
+			// the failure is still visible in the store.
+			if f := jobs[k].Trace; f != nil {
+				f.Span("emit", time.Now(), time.Now(), trace.Str("outcome", "rejected"))
+				trace.Default().Finish(f)
+			}
+			continue
 		}
-		s.finishRecord(jobs[k].Batch, recs[k], jobs[k].Raw, jobs[k].Match, now)
+		s.finishRecord(jobs[k].Batch, recs[k], jobs[k].Raw, jobs[k].Match, now, jobs[k].Trace)
 	}
 }
 
 // finishRecord applies one annotated record's stateful tail. Must be
 // called in batch order from a single goroutine.
-func (s *Server) finishRecord(b *organizer.Batch, rec feed.Record, raw []float64, match *recog.Match, appearedAt time.Time) {
+func (s *Server) finishRecord(b *organizer.Batch, rec feed.Record, raw []float64, match *recog.Match, appearedAt time.Time, flow *trace.Flow) {
+	var emitStart time.Time
+	if flow != nil {
+		emitStart = time.Now()
+	}
 	rec.AppearedAt = appearedAt
 
 	// Banner-labeled flows feed the update-classifier window.
@@ -298,6 +333,13 @@ func (s *Server) finishRecord(b *organizer.Batch, rec feed.Record, raw []float64
 		}
 	}
 
+	if flow != nil {
+		flow.Span("emit", emitStart, emitStart,
+			trace.Str("label", rec.Label),
+			trace.Str("label_source", rec.LabelSource))
+		trace.Default().Finish(flow)
+	}
+
 	// A flow end may have raced ahead of the scan batch; apply it now.
 	s.mu.Lock()
 	end, hasEnd := s.pendingEnds[b.IP]
@@ -314,12 +356,18 @@ func (s *Server) handleFlowEnd(e SamplerEvent, availableAt time.Time) {
 	if !ok {
 		// The record may still be waiting on the scan batch; park the
 		// end until emitRecord replays it. Ends for flows the organizer
-		// dropped are parked too, but they are swept with the map.
+		// dropped are parked too, but they are swept with the map. A
+		// parked event keeps its live trace and finishes on replay.
 		s.mu.Lock()
+		parked := false
 		if _, waiting := s.pendingBatches[e.IP]; waiting || s.scanModHasPending() {
 			s.pendingEnds[e.IP] = e
+			parked = true
 		}
 		s.mu.Unlock()
+		if !parked {
+			s.finishEndTrace(e, "no_record")
+		}
 		return
 	}
 	histID := store.ObjectID(idStr)
@@ -346,7 +394,19 @@ func (s *Server) handleFlowEnd(e SamplerEvent, availableAt time.Time) {
 	s.active.Del(activeKey(ipStr))
 	metFeedFlowEnds.Inc()
 	metFeedActive.Set(float64(s.active.Len()))
+	s.finishEndTrace(e, "applied")
 	_ = availableAt
+}
+
+// finishEndTrace closes out a flow-end event's trace (no-op when
+// untraced) with the update's outcome.
+func (s *Server) finishEndTrace(e SamplerEvent, outcome string) {
+	if e.Trace == nil {
+		return
+	}
+	now := time.Now()
+	e.Trace.Span("emit", now, now, trace.Str("outcome", outcome))
+	trace.Default().Finish(e.Trace)
 }
 
 // Tick runs time-driven housekeeping: scan-batch age flush, the daily
@@ -497,6 +557,27 @@ func (s *Server) RecordByIP(ip string) (feed.Record, bool) {
 		return feed.Record{}, false
 	}
 	return matches[len(matches)-1], true
+}
+
+var _ api.WhySource = (*Server)(nil)
+
+// Why joins a record with its retained trace detail (api.WhySource):
+// the record's provenance carries the deterministic trace ID, and the
+// trace store may still hold the per-stage timing lineage behind it.
+func (s *Server) Why(ip string) (api.WhyReport, bool) {
+	rec, ok := s.RecordByIP(ip)
+	if !ok {
+		return api.WhyReport{}, false
+	}
+	rep := api.WhyReport{Record: rec}
+	if rec.Provenance != nil && rec.Provenance.TraceID != "" {
+		if id, err := trace.ParseID(rec.Provenance.TraceID); err == nil {
+			if d, ok := trace.Default().Store().Get(id); ok {
+				rep.Trace = d
+			}
+		}
+	}
+	return rep, true
 }
 
 // Snapshot aggregates the front-end's high-level view.

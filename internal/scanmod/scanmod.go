@@ -49,6 +49,15 @@ type Tagged struct {
 	Match  *recog.Match
 }
 
+// FlushWindow is the timing of the most recent batch flush: when the
+// probe sweep started and ended, and how many hosts it covered. Traced
+// flows use it for their scanmod/probe spans.
+type FlushWindow struct {
+	Start time.Time
+	End   time.Time
+	Hosts int
+}
+
 // Module buffers scanners and probes them in batches.
 type Module struct {
 	cfg     Config
@@ -57,6 +66,7 @@ type Module struct {
 
 	pending     []packet.IP
 	oldestAdded time.Time
+	lastFlush   FlushWindow
 
 	scanned int64
 	tagged  int64
@@ -102,7 +112,9 @@ func (m *Module) Flush() []Tagged {
 	m.pending = nil
 	metPending.Set(0)
 	metBatches.Inc()
+	m.lastFlush = FlushWindow{Start: time.Now(), Hosts: len(ips)}
 	results := m.scanner.ScanBatch(ips)
+	m.lastFlush.End = time.Now()
 	out := make([]Tagged, len(ips))
 	for i := range ips {
 		out[i] = Tagged{IP: ips[i], Result: results[i]}
@@ -122,6 +134,12 @@ func (m *Module) Flush() []Tagged {
 	}
 	return out
 }
+
+// LastFlush returns the timing of the most recent batch flush.
+func (m *Module) LastFlush() FlushWindow { return m.lastFlush }
+
+// PortsPerHost returns the scanner's per-host probe count.
+func (m *Module) PortsPerHost() int { return m.scanner.NumPorts() }
 
 // Stats returns (scanned, tagged) lifetime counters.
 func (m *Module) Stats() (scanned, tagged int64) {

@@ -1,0 +1,32 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+	"strconv"
+)
+
+// metBuildInfo is the standard build-identity gauge (see
+// docs/OPERATIONS.md): a constant 1 whose labels carry the binary's
+// version, Go runtime, and GOMAXPROCS, so dashboards can join every
+// other series against the exact build and parallelism that produced
+// it. Registered eagerly so both daemons' /metrics endpoints expose it
+// without wiring.
+var metBuildInfo = func() *GaugeVec {
+	v := Default().GaugeVec("exiot_build_info",
+		"Build identity: constant 1, labeled with the binary version, Go runtime, and GOMAXPROCS.",
+		"version", "goversion", "gomaxprocs")
+	v.With(buildVersion(), runtime.Version(), strconv.Itoa(runtime.GOMAXPROCS(0))).Set(1)
+	return v
+}()
+
+// buildVersion reports the main module's version from the embedded
+// build info ("dev" for local, uninstalled builds).
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			return v
+		}
+	}
+	return "dev"
+}

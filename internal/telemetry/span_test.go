@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestStageStatsTieBreak locks the ordering contract: total time
+// descending, with exact ties broken by stage name ascending, so
+// end-of-run summaries are stable across runs and worker counts.
+func TestStageStatsTieBreak(t *testing.T) {
+	r := NewRegistry()
+	// Three stages with identical totals (one observation of 2s each),
+	// inserted in non-alphabetical order, plus one clear winner.
+	r.StageTimer("zeta").Observe(2)
+	r.StageTimer("alpha").Observe(2)
+	r.StageTimer("mid").Observe(2)
+	r.StageTimer("dominant").Observe(10)
+
+	stats := r.StageStats()
+	if len(stats) != 4 {
+		t.Fatalf("want 4 stages, got %d", len(stats))
+	}
+	got := make([]string, len(stats))
+	for i, st := range stats {
+		got[i] = st.Stage
+	}
+	want := []string{"dominant", "alpha", "mid", "zeta"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stage order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestBuildInfoGauge verifies the eagerly registered build-identity
+// series: constant 1, labeled with version, Go runtime, and GOMAXPROCS,
+// visible on every /metrics endpoint backed by the default registry.
+func TestBuildInfoGauge(t *testing.T) {
+	var sb strings.Builder
+	if err := Default().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if !strings.Contains(text, "# TYPE exiot_build_info gauge") {
+		t.Fatalf("exiot_build_info not registered:\n%s", text)
+	}
+	wantLabels := []string{
+		`goversion="` + runtime.Version() + `"`,
+		`gomaxprocs="` + strconv.Itoa(runtime.GOMAXPROCS(0)) + `"`,
+		`version="`,
+	}
+	for _, l := range wantLabels {
+		if !strings.Contains(text, l) {
+			t.Fatalf("exiot_build_info missing label %s:\n%s", l, text)
+		}
+	}
+	if metBuildInfo.With(buildVersion(), runtime.Version(), strconv.Itoa(runtime.GOMAXPROCS(0))).Value() != 1 {
+		t.Fatal("exiot_build_info must be the constant 1")
+	}
+}

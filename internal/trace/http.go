@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// This file is the operator-mux surface: exiotd registers these
+// handlers on the telemetry mux (next to /metrics and /healthz), so
+// trace inspection needs no API key, exactly like pprof.
+
+// Register wires GET /traces (list) and GET /traces/{id} (detail) onto
+// an operator mux.
+func (s *Store) Register(mux *http.ServeMux) {
+	mux.HandleFunc("GET /traces", s.handleList)
+	mux.HandleFunc("GET /traces/{id}", s.handleGet)
+}
+
+func (s *Store) handleList(w http.ResponseWriter, _ *http.Request) {
+	traces := s.List()
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(traces), "traces": traces})
+}
+
+func (s *Store) handleGet(w http.ResponseWriter, r *http.Request) {
+	id, err := ParseID(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "invalid trace id"})
+		return
+	}
+	d, ok := s.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such trace (rotated out or never sampled)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

@@ -113,6 +113,10 @@ func NewScannerWithPorts(p Prober, ports []uint16) *Scanner {
 	return &Scanner{prober: p, ports: ports, Rate: DefaultRate}
 }
 
+// NumPorts returns the number of ports probed per host (trace
+// provenance records it alongside each scan's results).
+func (s *Scanner) NumPorts() int { return len(s.ports) }
+
 // ScanHost probes every target port on one host and grabs banners from
 // the open ones.
 func (s *Scanner) ScanHost(ip packet.IP) HostResult {
