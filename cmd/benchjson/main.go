@@ -1,0 +1,299 @@
+// Command benchjson records and compares benchmark baselines as JSON.
+//
+// The repo commits machine-readable baselines (BENCH_ingest.json,
+// BENCH_backhalf.json) captured with `benchjson run`; CI re-runs the same
+// benchmarks and `benchjson compare` flags any ns/op regression beyond a
+// threshold. Runs with -count > 1 are reduced to the per-benchmark median,
+// damping scheduler noise on shared runners.
+//
+//	benchjson run -bench 'BenchmarkIngestThroughput$' -pkg . -count 5 -out BENCH_ingest.json
+//	benchjson compare -baseline BENCH_ingest.json -current fresh.json -threshold 0.10 -warn-only
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the file format: one entry per benchmark name (GOMAXPROCS
+// suffix stripped), medians across repeated runs.
+type Baseline struct {
+	// Bench is the `go test -bench` regexp the file was captured from.
+	Bench string `json:"bench"`
+	// Package is the package pattern the benchmarks live in.
+	Package string `json:"package"`
+	// Count is how many runs each median was taken over.
+	Count      int                  `json:"count"`
+	Benchmarks map[string]BenchStat `json:"benchmarks"`
+}
+
+// BenchStat is the recorded result of one benchmark.
+type BenchStat struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every other reported value by unit: B/op, allocs/op,
+	// and custom b.ReportMetric units like pkts/sec.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// sample accumulates repeated measurements for one benchmark.
+type sample struct {
+	nsPerOp []float64
+	metrics map[string][]float64
+}
+
+// parseBenchOutput extracts per-benchmark measurements from `go test
+// -bench` output. Lines look like:
+//
+//	BenchmarkIngestThroughput/workers=1-4  2  518ms ns/op  641909 pkts/sec  12 B/op  0 allocs/op
+//
+// The trailing -N on the name is the GOMAXPROCS suffix and is stripped so
+// baselines compare across machines with different core counts.
+func parseBenchOutput(r io.Reader) (map[string]*sample, error) {
+	out := make(map[string]*sample)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iteration count, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // e.g. "BenchmarkFoo    \t--- FAIL"
+		}
+		name := stripProcSuffix(strings.TrimPrefix(fields[0], "Benchmark"))
+		s := out[name]
+		if s == nil {
+			s = &sample{metrics: make(map[string][]float64)}
+			out[name] = s
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value %q in line %q", fields[i], line)
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				s.nsPerOp = append(s.nsPerOp, v)
+			} else {
+				s.metrics[unit] = append(s.metrics[unit], v)
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+// stripProcSuffix removes the trailing -N GOMAXPROCS marker, careful not
+// to eat sub-benchmark names that legitimately end in -<number>.
+// `go test` always appends the suffix, so only the last dash-number goes.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// reduce collapses accumulated samples to medians.
+func reduce(samples map[string]*sample) map[string]BenchStat {
+	out := make(map[string]BenchStat, len(samples))
+	for name, s := range samples {
+		st := BenchStat{NsPerOp: median(s.nsPerOp)}
+		if len(s.metrics) > 0 {
+			st.Metrics = make(map[string]float64, len(s.metrics))
+			for unit, vs := range s.metrics {
+				st.Metrics[unit] = median(vs)
+			}
+		}
+		out[name] = st
+	}
+	return out
+}
+
+// regression describes one benchmark whose ns/op moved past the threshold.
+type regression struct {
+	Name     string
+	Baseline float64
+	Current  float64
+	Delta    float64 // fractional change, +0.25 = 25% slower
+}
+
+// compareBaselines returns regressions (ns/op slower than threshold),
+// improvements are reported in the second list for logging, and missing
+// names (present in baseline, absent in current) in the third.
+func compareBaselines(base, cur map[string]BenchStat, threshold float64) (regs, improves []regression, missing []string) {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		delta := (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		r := regression{Name: name, Baseline: b.NsPerOp, Current: c.NsPerOp, Delta: delta}
+		switch {
+		case delta > threshold:
+			regs = append(regs, r)
+		case delta < -threshold:
+			improves = append(improves, r)
+		}
+	}
+	return regs, improves, missing
+}
+
+func runCmd(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	bench := fs.String("bench", ".", "go test -bench regexp")
+	pkg := fs.String("pkg", ".", "package pattern to benchmark")
+	count := fs.Int("count", 3, "runs per benchmark (median is recorded)")
+	benchtime := fs.String("benchtime", "", "optional -benchtime passthrough (e.g. 1x, 2s)")
+	out := fs.String("out", "", "output JSON path (default stdout)")
+	fs.Parse(args)
+
+	gargs := []string{"test", "-run", "NONE", "-bench", *bench, "-benchmem",
+		"-count", strconv.Itoa(*count)}
+	if *benchtime != "" {
+		gargs = append(gargs, "-benchtime", *benchtime)
+	}
+	gargs = append(gargs, *pkg)
+	cmd := exec.Command("go", gargs...)
+	cmd.Stderr = os.Stderr
+	pipe, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("benchjson: start go test: %w", err)
+	}
+	tee := io.TeeReader(pipe, os.Stderr) // live progress while capturing
+	samples, perr := parseBenchOutput(tee)
+	if werr := cmd.Wait(); werr != nil {
+		return fmt.Errorf("benchjson: go test: %w", werr)
+	}
+	if perr != nil {
+		return perr
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("benchjson: no benchmark results matched %q in %s", *bench, *pkg)
+	}
+	b := Baseline{Bench: *bench, Package: *pkg, Count: *count, Benchmarks: reduce(samples)}
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+func loadBaseline(path string) (Baseline, error) {
+	var b Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("benchjson: parse %s: %w", path, err)
+	}
+	return b, nil
+}
+
+func compareCmd(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	basePath := fs.String("baseline", "", "committed baseline JSON")
+	curPath := fs.String("current", "", "freshly captured JSON")
+	threshold := fs.Float64("threshold", 0.10, "fractional ns/op regression tolerated")
+	warnOnly := fs.Bool("warn-only", false, "report regressions without failing (shared-runner mode)")
+	fs.Parse(args)
+	if *basePath == "" || *curPath == "" {
+		return fmt.Errorf("benchjson compare: -baseline and -current are required")
+	}
+	base, err := loadBaseline(*basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := loadBaseline(*curPath)
+	if err != nil {
+		return err
+	}
+	regs, improves, missing := compareBaselines(base.Benchmarks, cur.Benchmarks, *threshold)
+	for _, r := range improves {
+		fmt.Printf("IMPROVED  %-40s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
+			r.Name, r.Baseline, r.Current, 100*r.Delta)
+	}
+	for _, name := range missing {
+		fmt.Printf("MISSING   %-40s present in baseline, absent in current run\n", name)
+	}
+	for _, r := range regs {
+		fmt.Printf("REGRESSED %-40s %12.0f -> %12.0f ns/op (%+.1f%%, threshold %.0f%%)\n",
+			r.Name, r.Baseline, r.Current, 100*r.Delta, 100**threshold)
+	}
+	if len(regs) == 0 && len(missing) == 0 {
+		fmt.Printf("OK: %d benchmarks within %.0f%% of baseline\n", len(base.Benchmarks), 100**threshold)
+		return nil
+	}
+	if *warnOnly {
+		fmt.Printf("WARN: %d regression(s), %d missing (warn-only mode, not failing)\n", len(regs), len(missing))
+		return nil
+	}
+	return fmt.Errorf("benchjson: %d regression(s), %d missing benchmark(s)", len(regs), len(missing))
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson <run|compare> [flags]")
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = runCmd(os.Args[2:])
+	case "compare":
+		err = compareCmd(os.Args[2:])
+	default:
+		err = fmt.Errorf("benchjson: unknown subcommand %q", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: exiot
+BenchmarkIngestThroughput/workers=1-4         	       2	 518000000 ns/op	    641909 pkts/sec	      1557 ns/pkt	  120 B/op	       3 allocs/op
+BenchmarkIngestThroughput/workers=1-4         	       2	 520000000 ns/op	    640000 pkts/sec	      1560 ns/pkt	  118 B/op	       3 allocs/op
+BenchmarkIngestThroughput/workers=1-4         	       2	 516000000 ns/op	    643000 pkts/sec	      1555 ns/pkt	  122 B/op	       3 allocs/op
+BenchmarkIngestThroughput/workers=4-4         	       3	 250000000 ns/op	   1330000 pkts/sec	       751 ns/pkt	  140 B/op	       5 allocs/op
+BenchmarkPacketMarshal-4                      	12000000	        95.5 ns/op	       0 B/op	       0 allocs/op
+some unrelated line
+BenchmarkBroken   --- FAIL
+PASS
+ok  	exiot	12.1s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	samples, err := parseBenchOutput(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(samples), keys(samples))
+	}
+	w1 := samples["IngestThroughput/workers=1"]
+	if w1 == nil {
+		t.Fatalf("workers=1 missing (GOMAXPROCS suffix not stripped?): %v", keys(samples))
+	}
+	if len(w1.nsPerOp) != 3 {
+		t.Fatalf("workers=1 has %d ns/op samples, want 3", len(w1.nsPerOp))
+	}
+	if got := w1.metrics["pkts/sec"]; len(got) != 3 || got[0] != 641909 {
+		t.Fatalf("pkts/sec samples = %v", got)
+	}
+	if got := w1.metrics["allocs/op"]; len(got) != 3 || got[0] != 3 {
+		t.Fatalf("allocs/op samples = %v", got)
+	}
+	pm := samples["PacketMarshal"]
+	if pm == nil || len(pm.nsPerOp) != 1 || pm.nsPerOp[0] != 95.5 {
+		t.Fatalf("PacketMarshal = %+v", pm)
+	}
+}
+
+func TestReduceMedians(t *testing.T) {
+	samples, err := parseBenchOutput(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := reduce(samples)
+	w1 := stats["IngestThroughput/workers=1"]
+	if w1.NsPerOp != 518000000 {
+		t.Errorf("median ns/op = %v, want 518000000", w1.NsPerOp)
+	}
+	if w1.Metrics["pkts/sec"] != 641909 {
+		t.Errorf("median pkts/sec = %v, want 641909", w1.Metrics["pkts/sec"])
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := median(c.in); got != c.want {
+			t.Errorf("median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStripProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"IngestThroughput/workers=1-4": "IngestThroughput/workers=1",
+		"PacketMarshal-16":             "PacketMarshal",
+		"NoSuffix":                     "NoSuffix",
+		"Trailing-dash-":               "Trailing-dash-",
+	}
+	for in, want := range cases {
+		if got := stripProcSuffix(in); got != want {
+			t.Errorf("stripProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCompareBaselines(t *testing.T) {
+	base := map[string]BenchStat{
+		"A": {NsPerOp: 100},
+		"B": {NsPerOp: 100},
+		"C": {NsPerOp: 100},
+		"D": {NsPerOp: 100},
+	}
+	cur := map[string]BenchStat{
+		"A": {NsPerOp: 105}, // within threshold
+		"B": {NsPerOp: 125}, // regressed
+		"C": {NsPerOp: 60},  // improved
+		// D missing
+	}
+	regs, improves, missing := compareBaselines(base, cur, 0.10)
+	if len(regs) != 1 || regs[0].Name != "B" {
+		t.Fatalf("regressions = %+v, want [B]", regs)
+	}
+	if regs[0].Delta != 0.25 {
+		t.Errorf("B delta = %v, want 0.25", regs[0].Delta)
+	}
+	if len(improves) != 1 || improves[0].Name != "C" {
+		t.Fatalf("improvements = %+v, want [C]", improves)
+	}
+	if len(missing) != 1 || missing[0] != "D" {
+		t.Fatalf("missing = %v, want [D]", missing)
+	}
+
+	// Exactly at threshold is not a regression (strict >).
+	regs, _, _ = compareBaselines(
+		map[string]BenchStat{"X": {NsPerOp: 100}},
+		map[string]BenchStat{"X": {NsPerOp: 110}}, 0.10)
+	if len(regs) != 0 {
+		t.Errorf("delta == threshold flagged as regression: %+v", regs)
+	}
+}
+
+func keys(m map[string]*sample) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -10,7 +10,7 @@ package organizer
 import (
 	"encoding/json"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"exiot/internal/packet"
@@ -66,9 +66,11 @@ func (o *Organizer) Organize(e trw.Event) (Batch, bool) {
 	sample := make([]packet.Packet, len(e.Sample))
 	copy(sample, e.Sample)
 	// Organize by arrival time: the detector emits in order, but merged
-	// streams from multiple capture workers may interleave.
-	sort.SliceStable(sample, func(i, j int) bool {
-		return sample[i].Timestamp.Before(sample[j].Timestamp)
+	// streams from multiple capture workers may interleave. (Stable
+	// generic sort — same order as the reflect-based SliceStable it
+	// replaced, without per-swap typedmemmove cost.)
+	slices.SortStableFunc(sample, func(a, b packet.Packet) int {
+		return a.Timestamp.Compare(b.Timestamp)
 	})
 	o.accepted++
 	return Batch{

@@ -168,6 +168,9 @@ func (s *Sampler) onDetectorEvent(e trw.Event) {
 		} else {
 			s.dropped.Inc()
 		}
+		// The organizer copied (or rejected) the packets; hand the
+		// detector's sample buffer back for the next detection.
+		trw.RecycleSample(e.Sample)
 	case trw.EventFlowEnd:
 		s.evFlowEnd.Inc()
 		ev := SamplerEvent{

@@ -1,0 +1,265 @@
+package trw
+
+import (
+	"exiot/internal/packet"
+)
+
+// flowTable is the detector's per-source state store: an open-addressing
+// hash table whose entries live in one contiguous slab (the arena), the
+// go-flows idiom for sustained-rate flow tracking. Compared to the
+// map[packet.IP]*srcState it replaces:
+//
+//   - entries are indices into a flat []flowEntry, not heap pointers, so
+//     inserting a new source allocates nothing in steady state (slab
+//     growth is amortized, deleted slots are recycled through a free
+//     list) and the walk state of neighbouring probes shares cache lines;
+//   - timestamps are int64 unix-nanos (8 bytes) instead of 24-byte
+//     time.Time values, and the comparison arithmetic is plain integer
+//     subtraction;
+//   - expiry is epoch-based: entries carry a generation stamp (the epoch
+//     bucket they are filed under) and the hourly sweep walks only the
+//     buckets old enough to contain expirable flows, instead of scanning
+//     and sort.Slice-ing the entire table. An entry touched after filing
+//     is lazily re-filed under its current epoch when its old bucket is
+//     swept — touching a flow on the packet path stays a single store.
+//
+// The table is not safe for concurrent use, mirroring the Detector.
+type flowTable struct {
+	// entries is the arena. Index 0 is valid; slots hold index+1 so the
+	// zero slot value means "empty".
+	entries []flowEntry
+	slots   []uint32
+	live    int
+
+	// freeHead chains released entries through flowEntry.enext (-1 none).
+	freeHead int32
+	freeLen  int
+
+	// Epoch index for expiry sweeps: bucket head per epoch, chained
+	// through flowEntry.enext. Filed once per insert and once per sweep
+	// re-file — never on the per-packet touch path.
+	epochLen int64
+	buckets  map[int64]int32
+
+	// sweepEpochs is reusable scratch for collecting due bucket keys.
+	sweepEpochs []int64
+}
+
+// flowEntry is one per-source state record, the arena form of the paper's
+// GLib entry {start ts, latest ts, packet count, IsScanner}. Field order
+// keeps the struct at 72 bytes (vs ~112 for the pointer+time.Time form).
+type flowEntry struct {
+	ip       packet.IP
+	enext    int32 // epoch-bucket chain while live, free-list chain while free
+	count    int32
+	scanner  bool
+	sampling bool
+
+	gen      int64 // generation stamp: epoch bucket this entry is filed under
+	first    int64 // unix nanos
+	last     int64
+	detected int64
+
+	sample []packet.Packet
+}
+
+const (
+	flowTableInitialSlots = 4096
+	flowTableInitialArena = 1024
+)
+
+// floorDiv is integer division rounding toward negative infinity, so
+// epoch and second boundaries are exact floors even for pre-1970 stamps.
+func floorDiv(n, d int64) int64 {
+	q := n / d
+	if n%d != 0 && (n < 0) != (d < 0) {
+		q--
+	}
+	return q
+}
+
+func newFlowTable(epochLen int64) flowTable {
+	if epochLen <= 0 {
+		epochLen = int64(1e9)
+	}
+	return flowTable{
+		entries:  make([]flowEntry, 0, flowTableInitialArena),
+		slots:    make([]uint32, flowTableInitialSlots),
+		freeHead: -1,
+		epochLen: epochLen,
+		buckets:  make(map[int64]int32, 64),
+	}
+}
+
+// home returns the starting probe slot for ip (Fibonacci multiplicative
+// hash, same spreading trick as the shard router).
+func (t *flowTable) home(ip packet.IP) uint32 {
+	h := uint64(uint32(ip)) * 0x9E3779B97F4A7C15
+	return uint32(h>>32) & uint32(len(t.slots)-1)
+}
+
+// getOrInsert returns the arena index for ip, creating a fresh entry
+// (first=last=ts filed under ts's epoch) when the source is new.
+func (t *flowTable) getOrInsert(ip packet.IP, ts int64) (idx int32, isNew bool) {
+	mask := uint32(len(t.slots) - 1)
+	i := t.home(ip)
+	for {
+		s := t.slots[i]
+		if s == 0 {
+			break
+		}
+		if t.entries[s-1].ip == ip {
+			return int32(s - 1), false
+		}
+		i = (i + 1) & mask
+	}
+	// Miss: insert. Grow first if the probe chains are getting long.
+	if (t.live+1)*4 > len(t.slots)*3 {
+		t.grow()
+		i = t.probeEmpty(ip)
+	}
+	idx = t.alloc(ip)
+	t.slots[i] = uint32(idx) + 1
+	t.live++
+	e := &t.entries[idx]
+	e.first, e.last, e.count = ts, ts, 1
+	t.file(idx, floorDiv(ts, t.epochLen))
+	return idx, true
+}
+
+// alloc takes an entry off the free list or extends the slab.
+func (t *flowTable) alloc(ip packet.IP) int32 {
+	if t.freeHead >= 0 {
+		idx := t.freeHead
+		t.freeHead = t.entries[idx].enext
+		t.freeLen--
+		t.entries[idx] = flowEntry{ip: ip}
+		return idx
+	}
+	t.entries = append(t.entries, flowEntry{ip: ip})
+	return int32(len(t.entries) - 1)
+}
+
+// probeEmpty finds the empty slot where ip belongs (the key must not be
+// present).
+func (t *flowTable) probeEmpty(ip packet.IP) uint32 {
+	mask := uint32(len(t.slots) - 1)
+	i := t.home(ip)
+	for t.slots[i] != 0 {
+		i = (i + 1) & mask
+	}
+	return i
+}
+
+// grow doubles the slot array and rehomes every live entry. Arena indices
+// are stable across growth, so callers' cached indices stay valid.
+func (t *flowTable) grow() {
+	old := t.slots
+	t.slots = make([]uint32, len(old)*2)
+	for _, s := range old {
+		if s != 0 {
+			i := t.probeEmpty(t.entries[s-1].ip)
+			t.slots[i] = s
+		}
+	}
+}
+
+// file links idx into the epoch bucket for ep and stamps its generation.
+func (t *flowTable) file(idx int32, ep int64) {
+	e := &t.entries[idx]
+	e.gen = ep
+	if head, ok := t.buckets[ep]; ok {
+		e.enext = head
+	} else {
+		e.enext = -1
+	}
+	t.buckets[ep] = idx
+}
+
+// sweep appends to ended the arena index of every entry whose last packet
+// is at or before cutoff, unfiling them from the epoch index. Live
+// entries found in due buckets (touched since filing, or sharing the
+// cutoff's boundary epoch) are re-filed under their current generation.
+// Swept entries stay resident — the caller reads them, emits events in
+// its own order, then releases each index.
+func (t *flowTable) sweep(cutoff int64, ended []int32) []int32 {
+	cutEpoch := floorDiv(cutoff, t.epochLen)
+	t.sweepEpochs = t.sweepEpochs[:0]
+	for ep := range t.buckets {
+		if ep <= cutEpoch {
+			t.sweepEpochs = append(t.sweepEpochs, ep)
+		}
+	}
+	for _, ep := range t.sweepEpochs {
+		head, ok := t.buckets[ep]
+		if !ok {
+			continue
+		}
+		delete(t.buckets, ep)
+		for idx := head; idx >= 0; {
+			e := &t.entries[idx]
+			next := e.enext
+			if e.last <= cutoff {
+				e.enext = -1
+				ended = append(ended, idx)
+			} else {
+				// Generation moved on (or the cutoff falls inside this
+				// epoch): re-file under the entry's current epoch.
+				t.file(idx, floorDiv(e.last, t.epochLen))
+			}
+			idx = next
+		}
+	}
+	return ended
+}
+
+// release removes a swept entry from the hash and returns its slot to
+// the free list. The entry must already be unfiled from the epoch index
+// (i.e. produced by sweep).
+func (t *flowTable) release(idx int32) {
+	e := &t.entries[idx]
+	mask := uint32(len(t.slots) - 1)
+	i := t.home(e.ip)
+	for t.slots[i] != uint32(idx)+1 {
+		i = (i + 1) & mask
+	}
+	t.removeSlot(i)
+	e.sample = nil
+	e.enext = t.freeHead
+	t.freeHead = idx
+	t.freeLen++
+	t.live--
+}
+
+// removeSlot deletes slot i with backward-shift compaction (no
+// tombstones): subsequent probe-chain entries whose home lies at or
+// before the vacated slot are moved back into it, preserving the
+// linear-probing invariant.
+func (t *flowTable) removeSlot(i uint32) {
+	mask := uint32(len(t.slots) - 1)
+	j := i
+	for {
+		t.slots[i] = 0
+		for {
+			j = (j + 1) & mask
+			if t.slots[j] == 0 {
+				return
+			}
+			k := t.home(t.entries[t.slots[j]-1].ip)
+			if (j-k)&mask >= (j-i)&mask {
+				break
+			}
+		}
+		t.slots[i] = t.slots[j]
+		i = j
+	}
+}
+
+// len returns the number of live entries.
+func (t *flowTable) len() int { return t.live }
+
+// arenaCap returns the slab length (live + free entries ever allocated).
+func (t *flowTable) arenaCap() int { return len(t.entries) }
+
+// freeCount returns how many arena slots sit on the free list.
+func (t *flowTable) freeCount() int { return t.freeLen }

@@ -3,7 +3,7 @@ package trw
 import (
 	"math"
 	"runtime"
-	"sort"
+	"slices"
 	"strconv"
 	"sync"
 	"time"
@@ -69,6 +69,13 @@ type ShardedDetector struct {
 	lastTs    time.Time
 	curSecond time.Time
 	marks     []reportMark
+
+	// Reused coordinator scratch: per-shard routing batches (the slices
+	// themselves come from shardBatchPool and are returned by the shard
+	// goroutines), the merge buffer, and the barrier channel.
+	routeBufs   [][]shardPkt
+	mergeBuf    []taggedEvent
+	barrierDone chan struct{}
 
 	closed bool
 }
@@ -155,6 +162,7 @@ func (s *shard) run(wg *sync.WaitGroup) {
 				s.curIdx = sp.idx
 				s.det.Process(sp.p)
 			}
+			putShardBatch(op.pkts)
 		case opAdvance:
 			s.det.AdvanceClock(op.ts)
 		case opEndHour:
@@ -180,7 +188,12 @@ func NewShardedDetector(cfg Config, workers int, emit func(Event)) *ShardedDetec
 	if workers > maxShards {
 		workers = maxShards
 	}
-	d := &ShardedDetector{emit: emit, shards: make([]*shard, workers)}
+	d := &ShardedDetector{
+		emit:        emit,
+		shards:      make([]*shard, workers),
+		routeBufs:   make([][]shardPkt, workers),
+		barrierDone: make(chan struct{}, workers),
+	}
 	for i := range d.shards {
 		label := strconv.Itoa(i)
 		s := &shard{
@@ -188,7 +201,7 @@ func NewShardedDetector(cfg Config, workers int, emit func(Event)) *ShardedDetec
 			queueDepth: metShardQueueDepth.With(label),
 			flowTable:  metShardFlowTable.With(label),
 		}
-		s.det = NewDetector(cfg, s.collect)
+		s.det = newDetector(cfg, label, s.collect)
 		d.shards[i] = s
 		d.wg.Add(1)
 		go s.run(&d.wg)
@@ -216,7 +229,7 @@ func (d *ShardedDetector) ProcessBatch(pkts []packet.Packet) {
 		return
 	}
 	n := len(d.shards)
-	batches := make([][]shardPkt, n)
+	batches := d.routeBufs
 	for i := range pkts {
 		p := &pkts[i]
 		// Replicate the serial tickSecond schedule: the report for second
@@ -232,7 +245,7 @@ func (d *ShardedDetector) ProcessBatch(pkts []packet.Packet) {
 		}
 		si := shardIndex(p.SrcIP, n)
 		if batches[si] == nil {
-			batches[si] = make([]shardPkt, 0, shardBatchSize)
+			batches[si] = newShardBatch()
 		}
 		batches[si] = append(batches[si], shardPkt{p: p, idx: d.nextIdx})
 		d.nextIdx++
@@ -250,6 +263,7 @@ func (d *ShardedDetector) ProcessBatch(pkts []packet.Packet) {
 			s.in.Push(shardOp{kind: opProcess, pkts: b})
 			s.queueDepth.Set(float64(s.in.Len()))
 		}
+		batches[si] = nil
 	}
 }
 
@@ -289,7 +303,7 @@ func (d *ShardedDetector) Flush(now time.Time) {
 // refreshes the per-shard telemetry gauges (queues drained, state tables
 // readable without racing the shard goroutines).
 func (d *ShardedDetector) barrier() {
-	done := make(chan struct{}, len(d.shards))
+	done := d.barrierDone
 	for _, s := range d.shards {
 		s.in.Push(shardOp{kind: opBarrier, done: done})
 	}
@@ -298,7 +312,7 @@ func (d *ShardedDetector) barrier() {
 	}
 	for _, s := range d.shards {
 		s.queueDepth.Set(float64(s.in.Len()))
-		s.flowTable.Set(float64(len(s.det.state)))
+		s.flowTable.Set(float64(s.det.ActiveSources()))
 	}
 }
 
@@ -324,20 +338,26 @@ func (d *ShardedDetector) deliver(flush bool) {
 
 	// Flow events: replay in global trigger order; sweep events (equal
 	// MaxInt64 triggers) order by source IP, matching the serial sweep.
-	var evs []taggedEvent
+	evs := d.mergeBuf[:0]
 	for _, s := range d.shards {
 		evs = append(evs, s.events...)
 		s.events = s.events[:0]
 	}
-	sort.SliceStable(evs, func(i, j int) bool {
-		if evs[i].trigger != evs[j].trigger {
-			return evs[i].trigger < evs[j].trigger
+	slices.SortStableFunc(evs, func(a, b taggedEvent) int {
+		switch {
+		case a.trigger < b.trigger:
+			return -1
+		case a.trigger > b.trigger:
+			return 1
+		case a.ev.IP < b.ev.IP:
+			return -1
+		case a.ev.IP > b.ev.IP:
+			return 1
 		}
-		return evs[i].ev.IP < evs[j].ev.IP
+		return 0
 	})
 
 	marks := d.marks
-	d.marks = nil
 	if flush && !d.curSecond.IsZero() {
 		// The serial Flush emits the in-flight report before the final
 		// sweep; all shards were clock-aligned, so their pending reports
@@ -366,6 +386,12 @@ func (d *ShardedDetector) deliver(flush bool) {
 	for ; ei < len(evs); ei++ {
 		emit(evs[ei].ev)
 	}
+
+	// Scrub and park the merge buffer for the next barrier (events were
+	// handed downstream; keeping them referenced would pin sample slabs).
+	clear(evs)
+	d.mergeBuf = evs[:0]
+	d.marks = d.marks[:0]
 }
 
 // addReport folds src into dst (same second).

@@ -17,10 +17,23 @@
 package trw
 
 import (
-	"sort"
+	"slices"
 	"time"
 
 	"exiot/internal/packet"
+	"exiot/internal/telemetry"
+)
+
+// Telemetry handles for the arena flow table (see docs/OPERATIONS.md).
+// The shard label is the shard index on the sharded path, "serial" on the
+// single-detector path.
+var (
+	metFlowTableEntries = telemetry.Default().GaugeVec("exiot_flowtable_entries",
+		"Live source-flow entries in a detector's arena flow table.", "shard")
+	metFlowTableArena = telemetry.Default().GaugeVec("exiot_flowtable_arena_capacity",
+		"Allocated entry slots in a detector's flow-table arena (slab length).", "shard")
+	metFlowTableFree = telemetry.Default().GaugeVec("exiot_flowtable_free_entries",
+		"Flow-table arena slots on the free list awaiting reuse.", "shard")
 )
 
 // Config holds the detector's operating thresholds. The zero value is
@@ -127,19 +140,6 @@ type Event struct {
 	Report *SecondReport
 }
 
-// srcState is the per-source entry of the detector's hash table, mirroring
-// the paper's GLib state {start ts, latest ts, packet count, IsScanner}.
-type srcState struct {
-	first     time.Time
-	last      time.Time
-	count     int
-	isScanner bool
-
-	detectedAt time.Time
-	sampling   bool
-	sample     []packet.Packet
-}
-
 // Stats aggregates detector lifetime counters.
 type Stats struct {
 	Processed      int64
@@ -150,122 +150,226 @@ type Stats struct {
 	ActiveSources  int
 }
 
+// nanosPerSecond is the per-second report clock granularity.
+const nanosPerSecond = int64(time.Second)
+
+// unixTime reconstructs a time.Time from detector-internal unix nanos.
+// Telescope capture stamps are UTC throughout the pipeline (simnet builds
+// UTC times, pcapio normalizes to UTC), so the round trip is exact.
+func unixTime(n int64) time.Time { return time.Unix(0, n).UTC() }
+
 // Detector is the streaming flow detector. It is not safe for concurrent
 // use; the pipeline feeds it from a single goroutine, like the paper's
 // single Libtrace loop.
+//
+// Per-source state lives in an arena-backed flowTable (see flowtable.go)
+// and all internal clocks are int64 unix-nanos; time.Time values are
+// materialized only on emitted events. The steady-state Process path is
+// allocation-free: port tallies go through a flat counter array, sample
+// buffers come from a pool, and flow lookups hit the open-addressing
+// table (one probe, or zero for a run of same-source packets).
 type Detector struct {
 	cfg   Config
 	emit  func(Event)
-	state map[packet.IP]*srcState
+	tbl   flowTable
 	stats Stats
 
-	curSecond time.Time
-	report    SecondReport
+	// Config thresholds in hot-path form.
+	thresholdN  int32
+	sampleN     int
+	expiryGapN  int64
+	minDurN     int64
+	flowEndGapN int64
+
+	// Per-second report clock and counters. The PortPackets map of the
+	// emitted report is built from portCount/portTouched at flush time;
+	// the per-packet tally is a single array increment.
+	secInit     bool
+	curSec      int64
+	repTotal    int
+	repTCP      int
+	repUDP      int
+	repICMP     int
+	repBackscat int
+	repNewScans int
+	portCount   []uint32
+	portTouched []uint16
+
+	// Same-source run cache: one table probe serves consecutive packets
+	// of one source (scanners burst). Invalidated by every sweep.
+	lastIP  packet.IP
+	lastIdx int32
+
+	// ended is the sweep's reusable scratch of expired arena indices.
+	ended []int32
+
+	// Cached flow-table gauge series (label: shard index or "serial").
+	gaugeEntries, gaugeArena, gaugeFree *telemetry.Gauge
 }
 
 // NewDetector creates a detector that delivers events to emit.
 func NewDetector(cfg Config, emit func(Event)) *Detector {
+	return newDetector(cfg, "serial", emit)
+}
+
+// newDetector is NewDetector with an explicit flow-table gauge label (the
+// sharded detector labels each shard's table by index).
+func newDetector(cfg Config, label string, emit func(Event)) *Detector {
+	cfg = cfg.withDefaults()
+	// Epoch buckets at 1/8 of the flow-end gap keep boundary-epoch
+	// rescans short without inflating the bucket index.
+	epochLen := int64(cfg.FlowEndGap) / 8
 	return &Detector{
-		cfg:   cfg.withDefaults(),
-		emit:  emit,
-		state: make(map[packet.IP]*srcState, 4096),
+		cfg:          cfg,
+		emit:         emit,
+		tbl:          newFlowTable(epochLen),
+		thresholdN:   int32(cfg.DetectionThreshold),
+		sampleN:      cfg.SampleSize,
+		expiryGapN:   int64(cfg.ExpiryGap),
+		minDurN:      int64(cfg.MinDuration),
+		flowEndGapN:  int64(cfg.FlowEndGap),
+		portCount:    make([]uint32, 65536),
+		portTouched:  make([]uint16, 0, 256),
+		lastIdx:      -1,
+		gaugeEntries: metFlowTableEntries.With(label),
+		gaugeArena:   metFlowTableArena.With(label),
+		gaugeFree:    metFlowTableFree.With(label),
 	}
 }
 
 // Process consumes one telescope packet. Packets must arrive in
 // non-decreasing timestamp order.
 func (d *Detector) Process(p *packet.Packet) {
-	d.tickSecond(p.Timestamp)
+	ts := p.Timestamp.UnixNano()
+	d.tickSecond(ts)
 	d.stats.Processed++
-	d.report.Total++
+	d.repTotal++
 	switch p.Proto {
 	case packet.TCP:
-		d.report.TCP++
+		d.repTCP++
 	case packet.UDP:
-		d.report.UDP++
+		d.repUDP++
 	case packet.ICMP:
-		d.report.ICMP++
+		d.repICMP++
 	}
 
 	if p.IsBackscatter() {
 		d.stats.Backscatter++
-		d.report.Backscatter++
+		d.repBackscat++
 		return
 	}
-	if d.report.PortPackets == nil {
-		d.report.PortPackets = make(map[uint16]int, 64)
+	if d.portCount[p.DstPort] == 0 {
+		d.portTouched = append(d.portTouched, p.DstPort)
 	}
-	d.report.PortPackets[p.DstPort]++
+	d.portCount[p.DstPort]++
 
-	st, ok := d.state[p.SrcIP]
-	if !ok {
-		st = &srcState{first: p.Timestamp, last: p.Timestamp, count: 1}
-		d.state[p.SrcIP] = st
-		return
+	var idx int32
+	if d.lastIdx >= 0 && p.SrcIP == d.lastIP {
+		idx = d.lastIdx
+	} else {
+		var isNew bool
+		idx, isNew = d.tbl.getOrInsert(p.SrcIP, ts)
+		d.lastIP, d.lastIdx = p.SrcIP, idx
+		if isNew {
+			return
+		}
 	}
 
-	gap := p.Timestamp.Sub(st.last)
-	st.last = p.Timestamp
+	e := &d.tbl.entries[idx]
+	gap := ts - e.last
+	e.last = ts
 
-	if st.isScanner {
-		if st.sampling {
-			st.sample = append(st.sample, *p)
-			if len(st.sample) >= d.cfg.SampleSize {
-				st.sampling = false
+	if e.scanner {
+		if e.sampling {
+			e.sample = append(e.sample, *p)
+			if len(e.sample) >= d.sampleN {
+				e.sampling = false
 				d.stats.SamplesEmitted++
+				sample := e.sample
+				e.sample = nil
 				d.emit(Event{
 					Kind:       EventSample,
 					IP:         p.SrcIP,
-					FirstSeen:  st.first,
-					DetectedAt: st.detectedAt,
-					Sample:     st.sample,
+					FirstSeen:  unixTime(e.first),
+					DetectedAt: unixTime(e.detected),
+					Sample:     sample,
 				})
-				st.sample = nil
 			}
 		}
 		// Post-sample packets only refresh liveness.
 		return
 	}
 
-	if gap > d.cfg.ExpiryGap {
+	if gap > d.expiryGapN {
 		// Counting flow expired: restart the walk.
-		st.first = p.Timestamp
-		st.count = 1
+		e.first = ts
+		e.count = 1
 		return
 	}
-	st.count++
-	if st.count >= d.cfg.DetectionThreshold &&
-		p.Timestamp.Sub(st.first) >= d.cfg.MinDuration {
-		st.isScanner = true
-		st.detectedAt = p.Timestamp
-		st.count = 0 // paper: reset to zero to start packet sampling
-		st.sampling = true
-		st.sample = make([]packet.Packet, 0, d.cfg.SampleSize)
+	e.count++
+	if e.count >= d.thresholdN && ts-e.first >= d.minDurN {
+		e.scanner = true
+		e.detected = ts
+		e.count = 0 // paper: reset to zero to start packet sampling
+		e.sampling = true
+		e.sample = newSampleBuf(d.sampleN)
 		d.stats.ScannersFound++
-		d.report.NewScanFlows++
+		d.repNewScans++
 		d.emit(Event{
 			Kind:       EventScannerDetected,
 			IP:         p.SrcIP,
-			FirstSeen:  st.first,
-			DetectedAt: st.detectedAt,
+			FirstSeen:  unixTime(e.first),
+			DetectedAt: unixTime(e.detected),
 		})
 	}
 }
 
 // tickSecond flushes per-second reports up to (not including) ts's second.
-func (d *Detector) tickSecond(ts time.Time) {
-	sec := ts.Truncate(time.Second)
-	if d.curSecond.IsZero() {
-		d.curSecond = sec
-		d.report = SecondReport{Second: sec}
+func (d *Detector) tickSecond(ts int64) {
+	sec := ts - ts%nanosPerSecond
+	if ts < 0 && ts%nanosPerSecond != 0 {
+		sec -= nanosPerSecond
+	}
+	if !d.secInit {
+		d.secInit = true
+		d.curSec = sec
 		return
 	}
-	for d.curSecond.Before(sec) {
-		rep := d.report
-		d.emit(Event{Kind: EventSecondReport, Report: &rep})
-		d.curSecond = d.curSecond.Add(time.Second)
-		d.report = SecondReport{Second: d.curSecond}
+	for d.curSec < sec {
+		d.flushSecond(true)
 	}
+}
+
+// flushSecond emits the report for the current second; advance moves the
+// clock to the next second and resets the counters (the final Flush emits
+// without consuming, mirroring the original detector).
+func (d *Detector) flushSecond(advance bool) {
+	rep := &SecondReport{
+		Second:       unixTime(d.curSec),
+		Total:        d.repTotal,
+		TCP:          d.repTCP,
+		UDP:          d.repUDP,
+		ICMP:         d.repICMP,
+		Backscatter:  d.repBackscat,
+		NewScanFlows: d.repNewScans,
+	}
+	if len(d.portTouched) > 0 {
+		m := make(map[uint16]int, len(d.portTouched))
+		for _, port := range d.portTouched {
+			m[port] = int(d.portCount[port])
+			if advance {
+				d.portCount[port] = 0
+			}
+		}
+		rep.PortPackets = m
+	}
+	if advance {
+		d.portTouched = d.portTouched[:0]
+		d.repTotal, d.repTCP, d.repUDP, d.repICMP = 0, 0, 0, 0
+		d.repBackscat, d.repNewScans = 0, 0
+		d.curSec += nanosPerSecond
+	}
+	d.emit(Event{Kind: EventSecondReport, Report: rep})
 }
 
 // EndHour runs the hourly sweep the paper performs before processing a new
@@ -273,42 +377,70 @@ func (d *Detector) tickSecond(ts time.Time) {
 // EventFlowEnd), and stale non-scanner state is dropped. Ended flows are
 // swept in ascending source-IP order so the emitted event sequence is
 // deterministic (and so a sharded detector can merge its per-shard sweeps
-// into the same stream).
+// into the same stream). The sweep is epoch-incremental: only buckets old
+// enough to hold expirable flows are visited, never the whole table.
 func (d *Detector) EndHour(now time.Time) {
-	var ended []packet.IP
-	for ip, st := range d.state {
-		if now.Sub(st.last) >= d.cfg.FlowEndGap {
-			ended = append(ended, ip)
+	cutoff := now.UnixNano() - d.flowEndGapN
+	d.ended = d.tbl.sweep(cutoff, d.ended[:0])
+	d.lastIdx = -1
+	entries := d.tbl.entries
+	slices.SortFunc(d.ended, func(a, b int32) int {
+		ipa, ipb := entries[a].ip, entries[b].ip
+		switch {
+		case ipa < ipb:
+			return -1
+		case ipa > ipb:
+			return 1
 		}
-	}
-	sort.Slice(ended, func(i, j int) bool { return ended[i] < ended[j] })
-	for _, ip := range ended {
-		st := d.state[ip]
-		if st.isScanner {
+		return 0
+	})
+	for _, idx := range d.ended {
+		e := &d.tbl.entries[idx]
+		if e.scanner {
 			// A flow still mid-sample when it dies is emitted short: the
 			// organizer decides whether enough packets were collected.
-			if st.sampling && len(st.sample) > 0 {
+			if e.sampling && len(e.sample) > 0 {
 				d.stats.SamplesEmitted++
+				sample := e.sample
+				e.sample = nil
 				d.emit(Event{
 					Kind:       EventSample,
-					IP:         ip,
-					FirstSeen:  st.first,
-					DetectedAt: st.detectedAt,
-					Sample:     st.sample,
+					IP:         e.ip,
+					FirstSeen:  unixTime(e.first),
+					DetectedAt: unixTime(e.detected),
+					Sample:     sample,
 				})
+			}
+			if e.sample != nil {
+				// Sampling started but no packet ever landed: the buffer
+				// was never emitted, so it can go straight back.
+				RecycleSample(e.sample)
+				e.sample = nil
 			}
 			d.stats.FlowsEnded++
 			d.emit(Event{
 				Kind:       EventFlowEnd,
-				IP:         ip,
-				FirstSeen:  st.first,
-				DetectedAt: st.detectedAt,
-				LastSeen:   st.last,
+				IP:         e.ip,
+				FirstSeen:  unixTime(e.first),
+				DetectedAt: unixTime(e.detected),
+				LastSeen:   unixTime(e.last),
 			})
 		}
-		delete(d.state, ip)
+		d.tbl.release(idx)
 	}
+	d.updateGauges()
 }
+
+// updateGauges refreshes the flow-table occupancy/arena gauges. Called at
+// sweep boundaries (hourly), never on the packet path.
+func (d *Detector) updateGauges() {
+	d.gaugeEntries.Set(float64(d.tbl.len()))
+	d.gaugeArena.Set(float64(d.tbl.arenaCap()))
+	d.gaugeFree.Set(float64(d.tbl.freeCount()))
+}
+
+// ActiveSources returns the number of tracked source flows.
+func (d *Detector) ActiveSources() int { return d.tbl.len() }
 
 // AdvanceClock advances the per-second report clock to ts without
 // consuming a packet, emitting reports for every second completed before
@@ -317,15 +449,14 @@ func (d *Detector) EndHour(now time.Time) {
 // the end of an hour still flushes the seconds the whole telescope has
 // moved past.
 func (d *Detector) AdvanceClock(ts time.Time) {
-	d.tickSecond(ts)
+	d.tickSecond(ts.UnixNano())
 }
 
 // Flush emits the pending per-second report and any in-flight short
 // samples, then ends every live scan flow. Call once at end of input.
 func (d *Detector) Flush(now time.Time) {
-	if !d.curSecond.IsZero() {
-		rep := d.report
-		d.emit(Event{Kind: EventSecondReport, Report: &rep})
+	if d.secInit {
+		d.flushSecond(false)
 	}
 	d.EndHour(now.Add(24 * time.Hour))
 }
@@ -333,6 +464,6 @@ func (d *Detector) Flush(now time.Time) {
 // Stats returns lifetime counters.
 func (d *Detector) Stats() Stats {
 	s := d.stats
-	s.ActiveSources = len(d.state)
+	s.ActiveSources = d.tbl.len()
 	return s
 }
