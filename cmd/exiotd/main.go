@@ -26,6 +26,7 @@ import (
 
 	"exiot/internal/api"
 	"exiot/internal/durable"
+	"exiot/internal/feedserve"
 	"exiot/internal/notify"
 	"exiot/internal/pipeline"
 	"exiot/internal/simnet"
@@ -59,6 +60,9 @@ func main() {
 
 		traceSample = flag.Int("trace-sample", 0, "trace every Nth sampler event: 0 disables, 1 traces all (feed bytes are identical either way)")
 		traceSlow   = flag.Duration("trace-slow", 0, "log completed traces slower than this end-to-end (0 disables the slow log)")
+
+		feedCache   = flag.Bool("feed-cache", true, "serve /records and /export from the snapshot-backed feed cache (cursor pagination, ETags, SSE deltas)")
+		feedRebuild = flag.Duration("feed-rebuild-every", 2*time.Second, "minimum interval between feed snapshot/export rebuilds")
 	)
 	flag.Parse()
 	trace.Default().SetSampleEvery(*traceSample)
@@ -68,15 +72,22 @@ func main() {
 		Sync:          durable.SyncPolicy(*stateSync),
 		SnapshotEvery: *stateSnap,
 	}
+	fcfg := feedCacheConfig{enabled: *feedCache, rebuildEvery: *feedRebuild}
 	if err := run(*listen, *apiAddr, *apiKey, *simulate, *hours, *seed,
-		*infected, *nonIoT, *research, *misconfig, *backscat, *whois, *modelDir, *workers, *telAddr, dcfg); err != nil {
+		*infected, *nonIoT, *research, *misconfig, *backscat, *whois, *modelDir, *workers, *telAddr, dcfg, fcfg); err != nil {
 		log.Fatal(err)
 	}
 }
 
+// feedCacheConfig carries the -feed-cache / -feed-rebuild-every flags.
+type feedCacheConfig struct {
+	enabled      bool
+	rebuildEvery time.Duration
+}
+
 func run(listen, apiAddr, apiKey string, simulate bool, hours int, seed int64,
 	infected, nonIoT, research, misconfig, backscat int, whois bool, modelDir string, workers int, telAddr string,
-	dcfg pipeline.DurableConfig) error {
+	dcfg pipeline.DurableConfig, fcfg feedCacheConfig) error {
 	if telAddr != "" {
 		// The operator mux is separate from the public API: it carries
 		// pprof and needs no key. The API's own /metrics and /healthz stay
@@ -222,6 +233,15 @@ func run(listen, apiAddr, apiKey string, simulate bool, hours int, seed int64,
 
 	apiSrv := api.NewServer(source, source.Notifier())
 	apiSrv.AddKey(apiKey, "cli-provisioned")
+	if fcfg.enabled {
+		cache := source.NewFeedCache(feedserve.Config{RebuildEvery: fcfg.rebuildEvery})
+		cache.Start()
+		defer cache.Close()
+		apiSrv.SetFeedCache(cache)
+		snap := cache.Current()
+		fmt.Printf("feed cache on: %d records, export %d B raw / %d B gzip, rebuild every %s\n",
+			snap.Len(), len(snap.ExportNDJSON()), len(snap.ExportGzip()), fcfg.rebuildEvery)
+	}
 	fmt.Printf("REST API on http://%s (key: %s)\n", apiAddr, apiKey)
 	return http.ListenAndServe(apiAddr, apiSrv)
 }

@@ -1,0 +1,203 @@
+// Command feedload drives concurrent read load against a running eX-IoT
+// API server and reports throughput and latency percentiles — the
+// operator's answer to "how many feed consumers can this instance
+// carry?". It speaks the same consumer protocol docs/FEED_CONSUMERS.md
+// describes: API-key auth, optional If-None-Match revalidation (the
+// steady state of a polling consumer), and optional gzip negotiation on
+// bulk exports.
+//
+//	feedload -url http://127.0.0.1:8080 -key dev-key -clients 32 -duration 10s
+//	feedload -url http://127.0.0.1:8080 -key dev-key -path /api/v1/export -gzip
+//	feedload -url http://127.0.0.1:8080 -key dev-key -conditional
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type config struct {
+	baseURL  string
+	path     string
+	key      string
+	clients  int
+	duration time.Duration
+	// requests, when > 0, stops the run after that many total requests
+	// instead of after duration (deterministic runs; tests use this).
+	requests int
+	// conditional revalidates with If-None-Match after the first 200,
+	// measuring the 304 fast path a polling consumer actually exercises.
+	conditional bool
+	gzip        bool
+}
+
+type result struct {
+	Requests  int            `json:"requests"`
+	Status    map[string]int `json:"status"`
+	Bytes     int64          `json:"bytes"`
+	Elapsed   float64        `json:"elapsed_seconds"`
+	ReqPerSec float64        `json:"req_per_sec"`
+	P50Ms     float64        `json:"p50_ms"`
+	P90Ms     float64        `json:"p90_ms"`
+	P99Ms     float64        `json:"p99_ms"`
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.baseURL, "url", "http://127.0.0.1:8080", "API base URL")
+	flag.StringVar(&cfg.path, "path", "/api/v1/records", "request path (with query string)")
+	flag.StringVar(&cfg.key, "key", "dev-key", "API key")
+	flag.IntVar(&cfg.clients, "clients", 16, "concurrent consumers")
+	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "run length")
+	flag.IntVar(&cfg.requests, "requests", 0, "stop after N total requests instead of -duration (0 = use duration)")
+	flag.BoolVar(&cfg.conditional, "conditional", false, "revalidate with If-None-Match after the first response (polling-consumer steady state)")
+	flag.BoolVar(&cfg.gzip, "gzip", false, "send Accept-Encoding: gzip")
+	jsonOut := flag.Bool("json", false, "emit the result as JSON")
+	flag.Parse()
+
+	res, err := runLoad(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(res)
+		return
+	}
+	fmt.Printf("%d requests in %.2fs over %d clients → %.0f req/s\n",
+		res.Requests, res.Elapsed, cfg.clients, res.ReqPerSec)
+	fmt.Printf("latency p50 %.2fms  p90 %.2fms  p99 %.2fms\n", res.P50Ms, res.P90Ms, res.P99Ms)
+	fmt.Printf("status: %v, %d bytes read\n", res.Status, res.Bytes)
+}
+
+// runLoad fans cfg.clients workers out over the target and aggregates
+// their latencies. Each worker keeps its own connection (the transport
+// pools per-host) and, in conditional mode, its own cached validator.
+func runLoad(cfg config) (result, error) {
+	if cfg.clients < 1 {
+		cfg.clients = 1
+	}
+	transport := &http.Transport{MaxIdleConnsPerHost: cfg.clients}
+	client := &http.Client{Transport: transport}
+	defer transport.CloseIdleConnections()
+
+	// Probe once so a bad URL or key fails fast instead of producing a
+	// report full of errors.
+	probe, err := http.NewRequest(http.MethodGet, cfg.baseURL+cfg.path, nil)
+	if err != nil {
+		return result{}, err
+	}
+	probe.Header.Set("X-API-Key", cfg.key)
+	resp, err := client.Do(probe)
+	if err != nil {
+		return result{}, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return result{}, fmt.Errorf("probe %s: status %d", cfg.path, resp.StatusCode)
+	}
+
+	var (
+		remaining atomic.Int64 // only consulted when cfg.requests > 0
+		deadline  = time.Now().Add(cfg.duration)
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		lats      []time.Duration
+		status    = map[string]int{}
+		bytes     int64
+	)
+	remaining.Store(int64(cfg.requests))
+
+	start := time.Now()
+	for i := 0; i < cfg.clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			etag := ""
+			local := make([]time.Duration, 0, 1024)
+			localStatus := map[string]int{}
+			var localBytes int64
+			for {
+				if cfg.requests > 0 {
+					if remaining.Add(-1) < 0 {
+						break
+					}
+				} else if !time.Now().Before(deadline) {
+					break
+				}
+				req, err := http.NewRequest(http.MethodGet, cfg.baseURL+cfg.path, nil)
+				if err != nil {
+					break
+				}
+				req.Header.Set("X-API-Key", cfg.key)
+				if cfg.gzip {
+					req.Header.Set("Accept-Encoding", "gzip")
+				}
+				if cfg.conditional && etag != "" {
+					req.Header.Set("If-None-Match", etag)
+				}
+				t := time.Now()
+				resp, err := client.Do(req)
+				if err != nil {
+					localStatus["error"]++
+					continue
+				}
+				n, _ := io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				local = append(local, time.Since(t))
+				localStatus[fmt.Sprint(resp.StatusCode)]++
+				localBytes += n
+				if cfg.conditional {
+					if e := resp.Header.Get("ETag"); e != "" {
+						etag = e
+					}
+				}
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			for k, v := range localStatus {
+				status[k] += v
+			}
+			bytes += localBytes
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := result{
+		Requests:  len(lats),
+		Status:    status,
+		Bytes:     bytes,
+		Elapsed:   elapsed.Seconds(),
+		ReqPerSec: float64(len(lats)) / elapsed.Seconds(),
+		P50Ms:     percentile(lats, 0.50),
+		P90Ms:     percentile(lats, 0.90),
+		P99Ms:     percentile(lats, 0.99),
+	}
+	return res, nil
+}
+
+// percentile returns the q-quantile of lats in milliseconds (nearest-
+// rank on the sorted sample; 0 for an empty sample).
+func percentile(lats []time.Duration, q float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(lats))
+	copy(sorted, lats)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}

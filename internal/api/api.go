@@ -15,15 +15,31 @@ import (
 
 	"exiot/internal/campaign"
 	"exiot/internal/feed"
+	"exiot/internal/feedserve"
 	"exiot/internal/notify"
 	"exiot/internal/packet"
 	"exiot/internal/telemetry"
 	"exiot/internal/trace"
 )
 
+// apiLatencyBuckets resolve request service times from the snapshot
+// fast path (tens of microseconds) up to store-walked bulk exports.
+var apiLatencyBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
 // Telemetry handles for the API layer (see docs/OPERATIONS.md).
-var metAPIRequests = telemetry.Default().CounterVec("exiot_api_requests_total",
-	"API requests served, by endpoint name and HTTP status code.", "endpoint", "code")
+var (
+	metAPIRequests = telemetry.Default().CounterVec("exiot_api_requests_total",
+		"API requests served, by endpoint name and HTTP status code.", "endpoint", "code")
+	metAPILatency = telemetry.Default().HistogramVec("exiot_api_latency_seconds",
+		"Request service time by endpoint (SSE connections report on disconnect).",
+		apiLatencyBuckets, "endpoint")
+	metConditional = telemetry.Default().CounterVec("exiot_api_conditional_total",
+		"Snapshot-served requests by conditional outcome: hit = If-None-Match matched (304, no body), miss = full body sent.",
+		"endpoint", "result")
+)
 
 // Query filters feed records.
 type Query struct {
@@ -34,6 +50,38 @@ type Query struct {
 	Since   time.Time
 	Prefix  *packet.Prefix
 	Limit   int
+
+	// Cursor and SinceSeq switch /records and /export into
+	// sequence-ordered delta mode over the feed snapshot: return records
+	// whose change sequence is greater than the given value. Cursor is
+	// the pagination continuation (`?cursor=`); SinceSeq is the same
+	// filter spelled `?since=<integer>`. Both require the feed cache.
+	Cursor   *uint64
+	SinceSeq *uint64
+}
+
+// seqMode reports whether the query asks for sequence-ordered deltas,
+// and the cursor to resume after.
+func (q *Query) seqMode() (uint64, bool) {
+	if q.Cursor == nil && q.SinceSeq == nil {
+		return 0, false
+	}
+	after := uint64(0)
+	if q.Cursor != nil {
+		after = *q.Cursor
+	}
+	if q.SinceSeq != nil && *q.SinceSeq > after {
+		after = *q.SinceSeq
+	}
+	return after, true
+}
+
+// filters reports whether any record-content filter is set (the
+// snapshot fast path serves unfiltered windows straight from
+// pre-marshaled lines).
+func (q *Query) filters() bool {
+	return q.Label != "" || q.Country != "" || q.ASN != 0 || q.Active != nil ||
+		!q.Since.IsZero() || q.Prefix != nil
 }
 
 // Snapshot is the front-end's high-level real-time view.
@@ -102,6 +150,9 @@ type Server struct {
 
 	mu   sync.RWMutex
 	keys map[string]string // token → client name
+	// cache is the optional snapshot-backed feed read path (nil = every
+	// read walks the document store, the pre-distribution behavior).
+	cache *feedserve.Cache
 
 	metrics *telemetry.Registry
 	health  *telemetry.Health
@@ -148,6 +199,7 @@ func (s *Server) routes() []route {
 		ep("POST", "/api/v1/alerts", "alerts", true, s.handleAlerts),
 		ep("GET", "/api/v1/campaigns", "campaigns", true, s.handleCampaigns),
 		ep("GET", "/api/v1/export", "export", true, s.handleExport),
+		ep("GET", "/api/v1/events", "events", true, s.handleEvents),
 		ep("GET", "/{$}", "dashboard", true, s.handleDashboard),
 	}
 }
@@ -185,6 +237,24 @@ func (s *Server) Endpoints() []Endpoint {
 	return out
 }
 
+// SetFeedCache installs the snapshot-backed feed read path. With a
+// cache, /records serves from the atomically-swapped snapshot (cursor
+// pagination, ETags, 304s), /export serves the precomputed bulk export,
+// and /events streams record deltas. Without one (nil), every read
+// walks the document store and the cursor/SSE surface answers 501.
+func (s *Server) SetFeedCache(c *feedserve.Cache) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cache = c
+}
+
+// feedCache returns the installed cache, or nil.
+func (s *Server) feedCache() *feedserve.Cache {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cache
+}
+
 // SetTelemetry overrides the registry and health tracker behind /metrics
 // and /healthz (tests inject isolated instances; nil keeps the current
 // one).
@@ -212,11 +282,22 @@ func (sr *statusRecorder) WriteHeader(code int) {
 	sr.ResponseWriter.WriteHeader(code)
 }
 
-// metered wraps a handler with the exiot_api_requests_total counter.
+// Flush forwards to the underlying writer so SSE frames leave the
+// process as they are written, not when the connection closes.
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// metered wraps a handler with the exiot_api_requests_total counter and
+// the per-endpoint latency histogram.
 func (s *Server) metered(name string, next http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
 		next(sr, r)
+		metAPILatency.With(name).Observe(time.Since(start).Seconds())
 		metAPIRequests.With(name, strconv.Itoa(sr.code)).Inc()
 	}
 }
@@ -281,6 +362,13 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 	q, err := parseQuery(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if c := s.feedCache(); c != nil && s.serveRecordsFromSnapshot(w, r, c, q) {
+		return
+	}
+	if _, ok := q.seqMode(); ok {
+		writeError(w, http.StatusNotImplemented, "cursor pagination requires the feed cache (-feed-cache)")
 		return
 	}
 	records := s.source.Records(q)
@@ -446,11 +534,24 @@ func parseQuery(r *http.Request) (Query, error) {
 		q.Active = &b
 	}
 	if since := v.Get("since"); since != "" {
-		ts, err := time.Parse(time.RFC3339, since)
-		if err != nil {
-			return q, fmt.Errorf("invalid since %q (want RFC3339)", since)
+		// Dual form: an RFC3339 timestamp filters by detection time, a
+		// bare integer is a change-sequence cursor for snapshot deltas.
+		if n, err := strconv.ParseUint(since, 10, 64); err == nil {
+			q.SinceSeq = &n
+		} else {
+			ts, err := time.Parse(time.RFC3339, since)
+			if err != nil {
+				return q, fmt.Errorf("invalid since %q (want RFC3339 or a change sequence)", since)
+			}
+			q.Since = ts
 		}
-		q.Since = ts
+	}
+	if cur := v.Get("cursor"); cur != "" {
+		n, err := strconv.ParseUint(cur, 10, 64)
+		if err != nil {
+			return q, fmt.Errorf("invalid cursor %q", cur)
+		}
+		q.Cursor = &n
 	}
 	if pfx := v.Get("prefix"); pfx != "" {
 		p, err := packet.ParsePrefix(pfx)

@@ -75,7 +75,9 @@ func (s *Server) handleDashboard(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleExport streams the feed as NDJSON — the paper's bulk raw-data
-// channel for researchers and operators. Filters mirror /records.
+// channel for researchers and operators. Filters mirror /records. With
+// the feed cache installed, the unfiltered bulk path serves the
+// precomputed (optionally gzip'd) export buffer with a strong ETag.
 func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 	q, err := parseQuery(r)
 	if err != nil {
@@ -84,6 +86,13 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 	}
 	if r.URL.Query().Get("limit") == "" {
 		q.Limit = 0 // bulk export defaults to everything
+	}
+	if c := s.feedCache(); c != nil && s.serveExportFromSnapshot(w, r, c, q) {
+		return
+	}
+	if _, ok := q.seqMode(); ok {
+		writeError(w, http.StatusNotImplemented, "cursor pagination requires the feed cache (-feed-cache)")
+		return
 	}
 	records := s.source.Records(q)
 	w.Header().Set("Content-Type", "application/x-ndjson")

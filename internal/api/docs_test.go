@@ -8,11 +8,13 @@ package api_test
 
 import (
 	"os"
+	"reflect"
 	"regexp"
 	"strings"
 	"testing"
 
 	"exiot/internal/api"
+	"exiot/internal/feed"
 	"exiot/internal/telemetry"
 )
 
@@ -74,6 +76,77 @@ func TestAPIDocMatchesRouteTable(t *testing.T) {
 		// The metering section must name every endpoint label.
 		if !strings.Contains(doc, "`"+ep.Name+"`") {
 			t.Errorf("endpoint name %q missing from docs/API.md metering section", ep.Name)
+		}
+	}
+}
+
+// jsonTags returns the wire names of every exported, non-inlined field
+// of a struct type, following the encoding/json tag rules the server
+// actually marshals with.
+func jsonTags(typ reflect.Type) []string {
+	var tags []string
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		tag := strings.Split(f.Tag.Get("json"), ",")[0]
+		if tag == "-" {
+			continue
+		}
+		if tag == "" {
+			tag = f.Name
+		}
+		tags = append(tags, tag)
+	}
+	return tags
+}
+
+func TestFeedConsumersDocMatchesSurface(t *testing.T) {
+	doc := readDoc(t, "../../docs/FEED_CONSUMERS.md")
+
+	// Every consumer-facing feed route must be in the guide. Operator
+	// plumbing (/metrics, /healthz, the dashboard) is deliberately out
+	// of scope, so this is one-directional.
+	for _, path := range []string{
+		"/api/v1/records",
+		"/api/v1/export",
+		"/api/v1/events",
+	} {
+		found := false
+		for _, ep := range api.NewServer(nullSource{}, nil).Endpoints() {
+			if ep.Path == path {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("consumer route %s is documented in the guide but no longer wired", path)
+		}
+		if !strings.Contains(doc, "`"+path+"`") && !strings.Contains(doc, path+"?") && !strings.Contains(doc, path+" ") && !strings.Contains(doc, path+"\n") {
+			t.Errorf("consumer route %s is wired but missing from docs/FEED_CONSUMERS.md", path)
+		}
+	}
+
+	// The NDJSON schema section must cover every field a consumer can
+	// receive — the guide reflects the live structs, not a hand list.
+	for _, tag := range jsonTags(reflect.TypeOf(feed.Record{})) {
+		if !strings.Contains(doc, "`"+tag+"`") {
+			t.Errorf("feed.Record field %q is marshaled to consumers but undocumented in docs/FEED_CONSUMERS.md", tag)
+		}
+	}
+	for _, tag := range jsonTags(reflect.TypeOf(feed.Provenance{})) {
+		if !strings.Contains(doc, "`"+tag+"`") {
+			t.Errorf("feed.Provenance field %q is marshaled to consumers but undocumented in docs/FEED_CONSUMERS.md", tag)
+		}
+	}
+}
+
+func TestOperationsDocCoversFeedFlags(t *testing.T) {
+	doc := readDoc(t, "../../docs/OPERATIONS.md")
+	for _, flag := range []string{"-feed-cache", "-feed-rebuild-every"} {
+		if !strings.Contains(doc, "`"+flag+"`") {
+			t.Errorf("exiotd flag %s is missing from docs/OPERATIONS.md", flag)
 		}
 	}
 }

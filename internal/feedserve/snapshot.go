@@ -1,0 +1,169 @@
+package feedserve
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"exiot/internal/feed"
+	"exiot/internal/store"
+)
+
+// Item is one feed record inside a snapshot: the record itself (for
+// filtering), its stable change-sequence number, and its pre-marshaled
+// NDJSON line (terminated by '\n') — the exact bytes the store-walked
+// export path would produce, so snapshot-served responses are
+// byte-identical to walking the document store.
+type Item struct {
+	// ID is the record's historical-database ObjectID.
+	ID store.ObjectID
+	// Seq is the record's change sequence: assigned when the record
+	// first appears in a snapshot and re-assigned whenever its marshaled
+	// bytes change (a flow end, say). Sequences only grow, so "every
+	// record with Seq > N" is exactly "everything that changed since a
+	// consumer's cursor N".
+	Seq uint64
+	// Line is the record's NDJSON line, a subslice of the snapshot's
+	// export buffer (JSON + trailing '\n').
+	Line []byte
+	// Rec is the decoded record, for query filtering.
+	Rec feed.Record
+}
+
+// Snapshot is an immutable point-in-time view of the feed. It is built
+// once and never mutated; readers obtain it through an atomic pointer
+// load (Cache.Current) and use it lock-free for as long as they like —
+// the RCU discipline that keeps the read path zero-lock.
+type Snapshot struct {
+	// items in document-store insertion order (the bulk-export order).
+	items []Item
+	// index maps ObjectID → items position (change detection on rebuild).
+	index map[store.ObjectID]int
+	// bySeq holds items positions ordered by ascending Seq (cursor
+	// pagination and delta queries).
+	bySeq []int
+	// lastSeq is the highest sequence ever assigned up to this snapshot.
+	lastSeq uint64
+	// fp fingerprints the export bytes (FNV-1a 64); it changes whenever
+	// any record is added, updated, or removed, and backs strong ETags.
+	fp      uint64
+	builtAt time.Time
+	// export is the full NDJSON bulk export (items' lines concatenated);
+	// exportGzip is the same bytes gzip-compressed, built once per
+	// snapshot rather than per request.
+	export     []byte
+	exportGzip []byte
+}
+
+// Len returns the number of records in the snapshot.
+func (s *Snapshot) Len() int { return len(s.items) }
+
+// Items returns the records in insertion order. The slice is shared and
+// must not be mutated.
+func (s *Snapshot) Items() []Item { return s.items }
+
+// LastSeq returns the highest change-sequence number assigned so far;
+// a consumer holding cursor LastSeq has seen every change in this
+// snapshot.
+func (s *Snapshot) LastSeq() uint64 { return s.lastSeq }
+
+// Fingerprint identifies the snapshot's content (strong-ETag base).
+func (s *Snapshot) Fingerprint() uint64 { return s.fp }
+
+// BuiltAt reports when the snapshot was assembled.
+func (s *Snapshot) BuiltAt() time.Time { return s.builtAt }
+
+// ExportNDJSON returns the precomputed bulk export. Shared; read-only.
+func (s *Snapshot) ExportNDJSON() []byte { return s.export }
+
+// ExportGzip returns the precomputed gzip'd bulk export. Shared;
+// read-only.
+func (s *Snapshot) ExportGzip() []byte { return s.exportGzip }
+
+// ItemsSince returns pointers to every item with Seq > since, in
+// ascending Seq order — the delta a consumer at cursor `since` has not
+// seen yet.
+func (s *Snapshot) ItemsSince(since uint64) []*Item {
+	start := sort.Search(len(s.bySeq), func(i int) bool {
+		return s.items[s.bySeq[i]].Seq > since
+	})
+	out := make([]*Item, 0, len(s.bySeq)-start)
+	for _, idx := range s.bySeq[start:] {
+		out = append(out, &s.items[idx])
+	}
+	return out
+}
+
+// buildSnapshot assembles a fresh snapshot from an exported collection
+// state. prev (nil on the first build) supplies change detection:
+// records whose marshaled bytes are unchanged keep their sequence
+// number, everything new or different draws the next one from lastSeq.
+func buildSnapshot(docs []store.Doc[feed.Record], prev *Snapshot, lastSeq *uint64, now time.Time) (*Snapshot, error) {
+	snap := &Snapshot{
+		items:   make([]Item, 0, len(docs)),
+		index:   make(map[store.ObjectID]int, len(docs)),
+		builtAt: now,
+	}
+
+	// Marshal every record into one buffer with the exact settings of
+	// the store-walked export path (json.Encoder, HTML escaping off),
+	// then alias each line as a subslice — no per-record copies.
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	offsets := make([]int, len(docs)+1)
+	for i := range docs {
+		offsets[i] = buf.Len()
+		if err := enc.Encode(&docs[i].Value); err != nil {
+			return nil, err
+		}
+	}
+	offsets[len(docs)] = buf.Len()
+	snap.export = buf.Bytes()
+
+	for i := range docs {
+		line := snap.export[offsets[i]:offsets[i+1]]
+		seq := uint64(0)
+		if prev != nil {
+			if pi, ok := prev.index[docs[i].ID]; ok && bytes.Equal(prev.items[pi].Line, line) {
+				seq = prev.items[pi].Seq
+			}
+		}
+		if seq == 0 {
+			*lastSeq++
+			seq = *lastSeq
+		}
+		snap.index[docs[i].ID] = len(snap.items)
+		snap.items = append(snap.items, Item{ID: docs[i].ID, Seq: seq, Line: line, Rec: docs[i].Value})
+	}
+	snap.lastSeq = *lastSeq
+
+	snap.bySeq = make([]int, len(snap.items))
+	for i := range snap.bySeq {
+		snap.bySeq[i] = i
+	}
+	sort.Slice(snap.bySeq, func(a, b int) bool {
+		return snap.items[snap.bySeq[a]].Seq < snap.items[snap.bySeq[b]].Seq
+	})
+
+	h := fnv.New64a()
+	_, _ = h.Write(snap.export)
+	snap.fp = h.Sum64()
+
+	var gz bytes.Buffer
+	zw, err := gzip.NewWriterLevel(&gz, gzip.BestSpeed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := zw.Write(snap.export); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	snap.exportGzip = gz.Bytes()
+	return snap, nil
+}

@@ -11,6 +11,7 @@ import (
 	"exiot/internal/api"
 	"exiot/internal/enrich"
 	"exiot/internal/feed"
+	"exiot/internal/feedserve"
 	"exiot/internal/notify"
 	"exiot/internal/organizer"
 	"exiot/internal/packet"
@@ -658,6 +659,15 @@ func (s *Server) Traffic() []TrafficHour {
 
 // Historical exposes the two-week archive (experiments and dashboards).
 func (s *Server) Historical() *store.Collection[feed.Record] { return s.historical }
+
+// NewFeedCache builds the snapshot-backed feed distribution cache over
+// the server's historical database. The cache hooks the collection's
+// mutation stream, so every record the pipeline writes marks it dirty;
+// call Start on the result to enable background rebuilds and hand it to
+// api.Server.SetFeedCache to switch the read path over.
+func (s *Server) NewFeedCache(cfg feedserve.Config) *feedserve.Cache {
+	return feedserve.New(s.historical, cfg)
+}
 
 // ActiveCount returns the number of live scan flows with records.
 func (s *Server) ActiveCount() int { return s.active.Len() }

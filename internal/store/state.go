@@ -96,11 +96,23 @@ type Mutation struct {
 
 // SetHook installs fn to observe every mutation. The hook runs with the
 // store's lock held, so it must be fast and must not call back into the
-// store. Restore never fires it. Pass nil to remove.
+// store. Restore never fires it. Pass nil to remove. SetHook owns a
+// single slot; observers registered with AddHook are unaffected.
 func (c *Collection[T]) SetHook(fn func(Mutation)) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.hook = fn
+}
+
+// AddHook appends an additional mutation observer alongside whatever
+// SetHook installed — the durability layer and the feed-serving cache
+// can both watch the same collection. Same contract as SetHook hooks:
+// runs under the store's lock, must be fast, must not call back in.
+// Added hooks cannot be removed.
+func (c *Collection[T]) AddHook(fn func(Mutation)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.extra = append(c.extra, fn)
 }
 
 // SetHook installs fn to observe every KV mutation; same contract as
@@ -109,6 +121,14 @@ func (kv *KV) SetHook(fn func(Mutation)) {
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
 	kv.hook = fn
+}
+
+// AddHook appends an additional KV mutation observer; same contract as
+// Collection.AddHook.
+func (kv *KV) AddHook(fn func(Mutation)) {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	kv.extra = append(kv.extra, fn)
 }
 
 // ObjectIDCounterValue reports the process-global ObjectID counter, for

@@ -58,8 +58,20 @@ type Collection[T any] struct {
 	docs map[ObjectID]T
 	// order preserves insertion sequence for deterministic scans.
 	order []ObjectID
-	// hook observes mutations (see SetHook in state.go).
-	hook func(Mutation)
+	// hook observes mutations (see SetHook in state.go); extra holds
+	// additional observers appended with AddHook.
+	hook  func(Mutation)
+	extra []func(Mutation)
+}
+
+// notify fires every installed mutation hook. Caller holds c.mu.
+func (c *Collection[T]) notify(m Mutation) {
+	if c.hook != nil {
+		c.hook(m)
+	}
+	for _, fn := range c.extra {
+		fn(m)
+	}
 }
 
 // NewCollection creates an empty collection.
@@ -75,9 +87,7 @@ func (c *Collection[T]) Insert(ts time.Time, doc T) ObjectID {
 	c.docs[id] = doc
 	c.order = append(c.order, id)
 	opInsert.Inc()
-	if c.hook != nil {
-		c.hook(Mutation{Op: "insert", ID: id})
-	}
+	c.notify(Mutation{Op: "insert", ID: id})
 	return id
 }
 
@@ -103,9 +113,7 @@ func (c *Collection[T]) Update(id ObjectID, fn func(*T)) bool {
 	fn(&doc)
 	c.docs[id] = doc
 	opUpdate.Inc()
-	if c.hook != nil {
-		c.hook(Mutation{Op: "update", ID: id})
-	}
+	c.notify(Mutation{Op: "update", ID: id})
 	return true
 }
 
@@ -162,9 +170,7 @@ func (c *Collection[T]) Delete(id ObjectID) bool {
 	}
 	delete(c.docs, id)
 	opDelete.Inc()
-	if c.hook != nil {
-		c.hook(Mutation{Op: "delete", ID: id})
-	}
+	c.notify(Mutation{Op: "delete", ID: id})
 	return true
 }
 
@@ -183,9 +189,7 @@ func (c *Collection[T]) Expire(cutoff time.Time) int {
 		if id.Time().Before(cutoff) {
 			delete(c.docs, id)
 			removed++
-			if c.hook != nil {
-				c.hook(Mutation{Op: "expire", ID: id})
-			}
+			c.notify(Mutation{Op: "expire", ID: id})
 			continue
 		}
 		keep = append(keep, id)
@@ -200,8 +204,20 @@ type KV struct {
 	mu    sync.RWMutex
 	data  map[string]kvEntry
 	clock func() time.Time
-	// hook observes mutations (see SetHook in state.go).
-	hook func(Mutation)
+	// hook observes mutations (see SetHook in state.go); extra holds
+	// additional observers appended with AddHook.
+	hook  func(Mutation)
+	extra []func(Mutation)
+}
+
+// notify fires every installed mutation hook. Caller holds kv.mu.
+func (kv *KV) notify(m Mutation) {
+	if kv.hook != nil {
+		kv.hook(m)
+	}
+	for _, fn := range kv.extra {
+		fn(m)
+	}
 }
 
 type kvEntry struct {
@@ -231,9 +247,7 @@ func (kv *KV) SetTTL(key, value string, ttl time.Duration) {
 	}
 	kv.mu.Lock()
 	kv.data[key] = e
-	if kv.hook != nil {
-		kv.hook(Mutation{Op: "set", Key: key})
-	}
+	kv.notify(Mutation{Op: "set", Key: key})
 	kv.mu.Unlock()
 }
 
@@ -260,9 +274,7 @@ func (kv *KV) Del(key string) bool {
 		return false
 	}
 	delete(kv.data, key)
-	if kv.hook != nil {
-		kv.hook(Mutation{Op: "del", Key: key})
-	}
+	kv.notify(Mutation{Op: "del", Key: key})
 	return true
 }
 

@@ -1,0 +1,205 @@
+// BenchmarkAPIServe measures the feed distribution read path: repeated
+// GET /records through the full HTTP handler stack (auth, metering,
+// routing), store-walked vs snapshot-served vs conditional 304, plus
+// snapshot reads under a concurrent writer. Headline metrics (req/s,
+// p99 under writes) land in BENCH_serve.json via cmd/benchjson and are
+// compared warn-only in CI.
+package exiot_test
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"exiot/internal/api"
+	"exiot/internal/feed"
+	"exiot/internal/feedserve"
+	"exiot/internal/store"
+)
+
+const (
+	serveBenchRecords = 10_000
+	serveBenchKey     = "bench-key"
+)
+
+var serveBenchT0 = time.Date(2020, 12, 9, 0, 0, 0, 0, time.UTC)
+
+// serveBenchSource backs the API with a document-store collection using
+// the pipeline's query semantics (filter in insertion order, most
+// recent Limit entries win).
+type serveBenchSource struct {
+	coll *store.Collection[feed.Record]
+}
+
+func (s *serveBenchSource) Records(q api.Query) []feed.Record {
+	out := s.coll.Find(func(r feed.Record) bool { return q.Matches(&r) })
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[len(out)-q.Limit:]
+	}
+	return out
+}
+
+func (s *serveBenchSource) RecordByIP(ip string) (feed.Record, bool) {
+	matches := s.coll.Find(func(r feed.Record) bool { return r.IP == ip })
+	if len(matches) == 0 {
+		return feed.Record{}, false
+	}
+	return matches[len(matches)-1], true
+}
+
+func (s *serveBenchSource) Snapshot() api.Snapshot { return api.Snapshot{} }
+
+func serveBenchRecord(i int) feed.Record {
+	return feed.Record{
+		IP:          fmt.Sprintf("100.%d.%d.%d", i/65536%256, i/256%256, i%256),
+		Label:       feed.LabelIoT,
+		Score:       0.93,
+		CountryCode: "CN",
+		ASN:         4134,
+		Active:      i%2 == 0,
+		FirstSeen:   serveBenchT0.Add(time.Duration(i) * time.Second),
+		DetectedAt:  serveBenchT0.Add(time.Duration(i) * time.Second),
+		LastSeen:    serveBenchT0.Add(time.Duration(i+600) * time.Second),
+		Vendor:      "MikroTik",
+		TargetPorts: map[uint16]int{23: 150 + i%100, 2323: 20},
+		ScanRatePPS: 4.2,
+	}
+}
+
+// serveBenchServer assembles a populated API server; withCache switches
+// the snapshot read path on.
+func serveBenchServer(b *testing.B, withCache bool) (http.Handler, *store.Collection[feed.Record], *feedserve.Cache) {
+	b.Helper()
+	coll := store.NewCollection[feed.Record]()
+	for i := 0; i < serveBenchRecords; i++ {
+		coll.Insert(serveBenchT0.Add(time.Duration(i)*time.Second), serveBenchRecord(i))
+	}
+	srv := api.NewServer(&serveBenchSource{coll: coll}, nil)
+	srv.AddKey(serveBenchKey, "bench")
+	var cache *feedserve.Cache
+	if withCache {
+		cache = feedserve.New(coll, feedserve.Config{})
+		b.Cleanup(cache.Close)
+		srv.SetFeedCache(cache)
+	}
+	return srv, coll, cache
+}
+
+func serveBenchDo(b *testing.B, h http.Handler, req *http.Request) int {
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK && w.Code != http.StatusNotModified {
+		b.Fatalf("status = %d: %s", w.Code, w.Body.String())
+	}
+	return w.Code
+}
+
+func serveBenchReq(path, etag string) *http.Request {
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	req.Header.Set("X-API-Key", serveBenchKey)
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	return req
+}
+
+func BenchmarkAPIServe(b *testing.B) {
+	const path = "/api/v1/records?limit=100"
+
+	b.Run("records/store_walk", func(b *testing.B) {
+		h, _, _ := serveBenchServer(b, false)
+		req := serveBenchReq(path, "")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			serveBenchDo(b, h, req)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	})
+
+	b.Run("records/snapshot", func(b *testing.B) {
+		h, _, _ := serveBenchServer(b, true)
+		req := serveBenchReq(path, "")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			serveBenchDo(b, h, req)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	})
+
+	b.Run("records/snapshot_304", func(b *testing.B) {
+		h, _, _ := serveBenchServer(b, true)
+		// Capture the current validator, then revalidate forever — the
+		// steady state of a polling consumer.
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, serveBenchReq(path, ""))
+		etag := w.Header().Get("ETag")
+		if etag == "" {
+			b.Fatal("no ETag on snapshot response")
+		}
+		req := serveBenchReq(path, etag)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if code := serveBenchDo(b, h, req); code != http.StatusNotModified {
+				b.Fatalf("status = %d, want 304", code)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	})
+
+	b.Run("records/snapshot_concurrent_writes", func(b *testing.B) {
+		h, coll, cache := serveBenchServer(b, true)
+		// A writer keeps mutating the feed and swapping snapshots under
+		// the readers — the operational steady state of a live telescope.
+		stop := make(chan struct{})
+		var writerWG sync.WaitGroup
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			i := serveBenchRecords
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				coll.Insert(serveBenchT0.Add(time.Duration(i)*time.Second), serveBenchRecord(i))
+				cache.Rebuild()
+				i++
+			}
+		}()
+
+		var mu sync.Mutex
+		var lats []time.Duration
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			req := serveBenchReq(path, "")
+			local := make([]time.Duration, 0, 4096)
+			for pb.Next() {
+				t := time.Now()
+				serveBenchDo(b, h, req)
+				local = append(local, time.Since(t))
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		})
+		b.StopTimer()
+		close(stop)
+		writerWG.Wait()
+
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		if len(lats) > 0 {
+			p99 := lats[int(0.99*float64(len(lats)-1))]
+			b.ReportMetric(float64(p99)/float64(time.Millisecond), "p99_ms")
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	})
+}
