@@ -38,6 +38,7 @@ import (
 func main() {
 	var (
 		listen   = flag.String("listen", "127.0.0.1:9410", "wire address to receive sampler events on")
+		shards   = flag.Int("shards", 0, "expected ingest shard count for the cluster merge (flowsampler -shard i/N); 0 = single-node v1")
 		apiAddr  = flag.String("api", "127.0.0.1:8080", "REST API listen address")
 		apiKey   = flag.String("key", "dev-key", "API key to provision")
 		simulate = flag.Bool("simulate", false, "run a self-contained simulation instead of receiving")
@@ -73,7 +74,7 @@ func main() {
 		SnapshotEvery: *stateSnap,
 	}
 	fcfg := feedCacheConfig{enabled: *feedCache, rebuildEvery: *feedRebuild}
-	if err := run(*listen, *apiAddr, *apiKey, *simulate, *hours, *seed,
+	if err := run(*listen, *shards, *apiAddr, *apiKey, *simulate, *hours, *seed,
 		*infected, *nonIoT, *research, *misconfig, *backscat, *whois, *modelDir, *workers, *telAddr, dcfg, fcfg); err != nil {
 		log.Fatal(err)
 	}
@@ -85,7 +86,7 @@ type feedCacheConfig struct {
 	rebuildEvery time.Duration
 }
 
-func run(listen, apiAddr, apiKey string, simulate bool, hours int, seed int64,
+func run(listen string, shards int, apiAddr, apiKey string, simulate bool, hours int, seed int64,
 	infected, nonIoT, research, misconfig, backscat int, whois bool, modelDir string, workers int, telAddr string,
 	dcfg pipeline.DurableConfig, fcfg feedCacheConfig) error {
 	if telAddr != "" {
@@ -189,9 +190,10 @@ func run(listen, apiAddr, apiKey string, simulate bool, hours int, seed int64,
 		// back half is parallel; the reorder buffer keeps the feed
 		// identical to the serial path.
 		handle := server.HandleEvent
+		var stage *pipeline.ClassifyStage
 		serialBackHalf := server.Workers() <= 1
 		if !serialBackHalf {
-			stage := pipeline.NewClassifyStage(server, server.Workers())
+			stage = pipeline.NewClassifyStage(server, server.Workers())
 			handle = stage.Enqueue
 		}
 		if dur != nil {
@@ -209,8 +211,50 @@ func run(listen, apiAddr, apiKey string, simulate bool, hours int, seed int64,
 			}
 			defer dur.Close()
 		}
+		// With -shards N the wire carries protocol v2 from N flowsampler
+		// nodes; the aggregator reorders, dedups, and k-way merges their
+		// streams back into the canonical single-node event order before
+		// anything reaches the feed modules.
+		var agg *pipeline.Aggregator
+		if shards > 0 {
+			agg = pipeline.NewAggregator(pipeline.AggregatorConfig{
+				Shards:          shards,
+				CollectionDelay: pcfg.CollectionDelay,
+				ProcessingDelay: pcfg.ProcessingDelay,
+				Emit: func(e pipeline.SamplerEvent, availableAt time.Time) {
+					// Events selected by the sender's deterministic trace
+					// ID pick their trace back up at merge time.
+					pipeline.TraceIncoming(&e, time.Now())
+					handle(e, availableAt)
+				},
+				OnHourMerged: func(hourEnd, availableAt time.Time, final bool) {
+					// A merged hour is the cluster's quiescent point —
+					// the same place Local.ProcessHour ticks the feed.
+					if stage != nil {
+						stage.Drain()
+					}
+					if final {
+						server.FlushScans(availableAt)
+					}
+					server.Tick(availableAt)
+					if dur != nil && serialBackHalf {
+						dur.MaybeSnapshot(availableAt, false)
+					}
+				},
+			})
+		}
 		recv, err := wire.NewReceiver(listen, func(f wire.Frame) {
 			receivedAt := time.Now()
+			if agg != nil && f.Version == wire.Version2 {
+				if err := agg.Ingest(f); err != nil {
+					log.Printf("cluster ingest: %v", err)
+				}
+				return
+			}
+			if f.Kind == wire.KindHourEnd {
+				log.Printf("hour barrier from shard %d ignored: run exiotd with -shards to merge a sharded cluster", f.ShardID)
+				return
+			}
 			e, err := pipeline.DecodeEvent(f)
 			if err != nil {
 				log.Printf("decode frame: %v", err)
@@ -228,7 +272,11 @@ func run(listen, apiAddr, apiKey string, simulate bool, hours int, seed int64,
 			return err
 		}
 		defer recv.Close()
-		fmt.Printf("receiving sampler events on %s\n", recv.Addr())
+		if shards > 0 {
+			fmt.Printf("receiving sampler events on %s (merging %d ingest shards)\n", recv.Addr(), shards)
+		} else {
+			fmt.Printf("receiving sampler events on %s\n", recv.Addr())
+		}
 	}
 
 	apiSrv := api.NewServer(source, source.Notifier())

@@ -8,6 +8,14 @@
 // Usage:
 //
 //	flowsampler -in captures/ -connect 127.0.0.1:9410
+//
+// Multi-node telescope deployments split the source space across N
+// ingest nodes with -shard i/N: each node keeps only the packets whose
+// source hashes to its partition (trw.ShardIndex), runs detection over
+// that slice, and ships events on wire protocol v2 — binary payloads,
+// coalesced batched writes, and per-hour barrier markers that let the
+// feed server's aggregator merge the N streams back into the exact
+// single-node event order.
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"strings"
 	"time"
 
 	"exiot/internal/packet"
@@ -36,6 +45,7 @@ func main() {
 		threshold  = flag.Int("threshold", 100, "TRW detection threshold (packets)")
 		sampleSize = flag.Int("sample", 200, "post-detection sample size (packets)")
 		workers    = flag.Int("workers", 0, "detection workers (0 = GOMAXPROCS, 1 = serial)")
+		shard      = flag.String("shard", "", "cluster shard ownership \"i/N\" (0-based); empty runs single-node on the legacy v1 protocol")
 
 		traceSample = flag.Int("trace-sample", 0, "trace every Nth sampler event: 0 disables, 1 traces all (shipped events keep their IDs)")
 		traceSlow   = flag.Duration("trace-slow", 0, "log completed traces slower than this end-to-end (0 disables the slow log)")
@@ -43,31 +53,101 @@ func main() {
 	flag.Parse()
 	trace.Default().SetSampleEvery(*traceSample)
 	trace.Default().SetSlowThreshold(*traceSlow)
-	if err := run(*in, *connect, *follow, *pollEvery, *threshold, *sampleSize, *workers); err != nil {
+	shardID, shardCount, err := parseShard(*shard)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := runConfig{
+		in:         *in,
+		connect:    *connect,
+		follow:     *follow,
+		pollEvery:  *pollEvery,
+		threshold:  *threshold,
+		sampleSize: *sampleSize,
+		workers:    *workers,
+		shardID:    shardID,
+		shardCount: shardCount,
+	}
+	if err := run(cfg); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(in, connect string, follow bool, pollEvery time.Duration, threshold, sampleSize, workers int) error {
-	sender := wire.NewSender(connect)
+// parseShard parses "i/N" into (i, N). An empty string means unsharded:
+// (0, 0).
+func parseShard(s string) (id, count int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	i, n, ok := strings.Cut(s, "/")
+	if ok {
+		_, err1 := fmt.Sscanf(i, "%d", &id)
+		_, err2 := fmt.Sscanf(n, "%d", &count)
+		if err1 == nil && err2 == nil && count > 0 && id >= 0 && id < count {
+			return id, count, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("bad -shard %q: want \"i/N\" with 0 <= i < N", s)
+}
+
+// runConfig carries flowsampler's run parameters. shardCount == 0 runs
+// the legacy single-node v1 protocol; otherwise the node owns partition
+// shardID of shardCount and speaks v2.
+type runConfig struct {
+	in, connect                    string
+	follow                         bool
+	pollEvery                      time.Duration
+	threshold, sampleSize, workers int
+	shardID, shardCount            int
+}
+
+func run(cfg runConfig) error {
+	sharded := cfg.shardCount > 0
+	var sender *wire.Sender
+	if sharded {
+		sender = wire.NewSenderV2(cfg.connect, cfg.shardID, cfg.shardCount)
+	} else {
+		sender = wire.NewSender(cfg.connect)
+	}
 	defer sender.Close()
 
-	var sendErr error
-	cfg := trw.Default()
-	cfg.DetectionThreshold = threshold
-	cfg.SampleSize = sampleSize
-	sampler := pipeline.NewSamplerWorkers(cfg, 0, workers, func(e pipeline.SamplerEvent) {
+	var (
+		sendErr  error
+		curEpoch int64  // hour epoch stamped on queued v2 frames
+		encBuf   []byte // reused binary-encode scratch (v2)
+	)
+	trwCfg := trw.Default()
+	trwCfg.DetectionThreshold = cfg.threshold
+	trwCfg.SampleSize = cfg.sampleSize
+	sampler := pipeline.NewSamplerWorkers(trwCfg, 0, cfg.workers, func(e pipeline.SamplerEvent) {
 		var sendStart time.Time
 		if e.Trace != nil {
 			sendStart = time.Now()
 		}
-		kind, data, err := pipeline.EncodeEvent(e)
+		var (
+			kind wire.Kind
+			data []byte
+			err  error
+		)
+		if sharded {
+			kind, data, err = pipeline.AppendEncodeEvent(encBuf[:0], e)
+			encBuf = data[:0]
+		} else {
+			kind, data, err = pipeline.EncodeEvent(e)
+		}
 		if err != nil {
 			sendErr = err
 			return
 		}
-		// Send blocks (idle) through outages; nothing is dropped.
-		if err := sender.Send(kind, data); err != nil {
+		// v1 Send blocks (idle) through outages; v2 Queue copies into
+		// the coalesced batch, which Flush/Barrier push with the same
+		// at-least-once retry loop. Nothing is dropped either way.
+		if sharded {
+			err = sender.Queue(kind, curEpoch, data)
+		} else {
+			err = sender.Send(kind, data)
+		}
+		if err != nil {
 			sendErr = err
 		}
 		if e.Trace != nil {
@@ -80,7 +160,7 @@ func run(in, connect string, follow bool, pollEvery time.Duration, threshold, sa
 
 	processed := map[time.Time]bool{}
 	for {
-		hours, err := pcapio.ListHours(in)
+		hours, err := pcapio.ListHours(cfg.in)
 		if err != nil {
 			return err
 		}
@@ -89,8 +169,17 @@ func run(in, connect string, follow bool, pollEvery time.Duration, threshold, sa
 			if processed[hour] {
 				continue
 			}
-			if err := processHour(sampler, in, hour); err != nil {
+			curEpoch = hour.Add(time.Hour).Unix()
+			if err := processHour(sampler, cfg, hour); err != nil {
 				return err
+			}
+			if sharded {
+				// Hour barrier: this shard has emitted everything for
+				// the hour; the aggregator can close it once every
+				// shard says so.
+				if err := sender.Barrier(curEpoch, false); err != nil {
+					sendErr = err
+				}
 			}
 			if sendErr != nil {
 				return fmt.Errorf("ship events: %w", sendErr)
@@ -101,25 +190,34 @@ func run(in, connect string, follow bool, pollEvery time.Duration, threshold, sa
 			fmt.Printf("%s processed: %d packets total, %d scanners, %d samples\n",
 				pcapio.HourFileName(hour), st.Processed, st.ScannersFound, st.SamplesEmitted)
 		}
-		if !follow {
+		if !cfg.follow {
 			break
 		}
 		if !newWork {
-			time.Sleep(pollEvery)
+			time.Sleep(cfg.pollEvery)
 		}
 	}
 
 	if len(processed) == 0 {
-		return fmt.Errorf("no capture hours found in %s", in)
+		return fmt.Errorf("no capture hours found in %s", cfg.in)
 	}
-	// End of input: close out all live flows.
+	// End of input: close out all live flows. The flush events belong to
+	// the pseudo-hour after the last capture (distinct epoch, so its
+	// barrier cannot collide with the last real hour's).
 	var last time.Time
 	for hour := range processed {
 		if hour.After(last) {
 			last = hour
 		}
 	}
-	sampler.Flush(last.Add(time.Hour))
+	flushAt := last.Add(time.Hour)
+	curEpoch = flushAt.Add(time.Hour).Unix()
+	sampler.Flush(flushAt)
+	if sharded && sendErr == nil {
+		if err := sender.Barrier(curEpoch, true); err != nil {
+			sendErr = err
+		}
+	}
 	if sendErr != nil {
 		return fmt.Errorf("ship events: %w", sendErr)
 	}
@@ -129,8 +227,8 @@ func run(in, connect string, follow bool, pollEvery time.Duration, threshold, sa
 	return nil
 }
 
-func processHour(sampler *pipeline.Sampler, dir string, hour time.Time) error {
-	hr, err := pcapio.OpenHour(dir, hour)
+func processHour(sampler *pipeline.Sampler, cfg runConfig, hour time.Time) error {
+	hr, err := pcapio.OpenHour(cfg.in, hour)
 	if err != nil {
 		return err
 	}
@@ -144,6 +242,13 @@ func processHour(sampler *pipeline.Sampler, dir string, hour time.Time) error {
 		}
 		if err != nil {
 			return err
+		}
+		// Shard ownership: keep only this node's hash partition of the
+		// source space — the same partition function the in-process
+		// sharded detector uses, so the cluster-wide union of events is
+		// exactly the single-node event set.
+		if cfg.shardCount > 0 && trw.ShardIndex(p.SrcIP, cfg.shardCount) != cfg.shardID {
+			continue
 		}
 		pkts = append(pkts, p)
 	}

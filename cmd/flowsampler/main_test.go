@@ -59,7 +59,9 @@ func TestRunShipsEventsOverWire(t *testing.T) {
 	}
 	defer recv.Close()
 
-	if err := run(dir, recv.Addr(), false, time.Second, 100, 200, 2); err != nil {
+	cfg := runConfig{in: dir, connect: recv.Addr(), pollEvery: time.Second,
+		threshold: 100, sampleSize: 200, workers: 2}
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
 
@@ -76,19 +78,99 @@ func TestRunShipsEventsOverWire(t *testing.T) {
 	}
 }
 
+// TestRunShardedSpeaksV2 runs three shard nodes over one capture set and
+// checks the v2 framing: every frame carries shard tags, every event
+// decodes, and each node closes each hour (plus the final flush
+// pseudo-hour) with a barrier.
+func TestRunShardedSpeaksV2(t *testing.T) {
+	dir := t.TempDir()
+	const hours, nodes = 2, 3
+	writeTestCaptures(t, dir, hours)
+
+	var mu sync.Mutex
+	barriers := map[uint16]int{}
+	finals := map[uint16]int{}
+	events := 0
+	recv, err := wire.NewReceiver("127.0.0.1:0", func(f wire.Frame) {
+		mu.Lock()
+		defer mu.Unlock()
+		if f.Version != wire.Version2 || f.ShardCount != nodes {
+			t.Errorf("frame without v2 shard tags: %+v", f)
+			return
+		}
+		if f.Kind == wire.KindHourEnd {
+			barriers[f.ShardID]++
+			if f.Flags&wire.FlagFinal != 0 {
+				finals[f.ShardID]++
+			}
+			return
+		}
+		if _, err := pipeline.DecodeEvent(f); err != nil {
+			t.Errorf("undecodable v2 frame: %v", err)
+			return
+		}
+		events++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	for node := 0; node < nodes; node++ {
+		cfg := runConfig{in: dir, connect: recv.Addr(), pollEvery: time.Second,
+			threshold: 100, sampleSize: 200, workers: 1,
+			shardID: node, shardCount: nodes}
+		if err := run(cfg); err != nil {
+			t.Fatalf("node %d: %v", node, err)
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if events == 0 {
+		t.Error("no events shipped")
+	}
+	for node := uint16(0); node < nodes; node++ {
+		if barriers[node] != hours+1 {
+			t.Errorf("node %d sent %d barriers, want %d (one per hour + final)", node, barriers[node], hours+1)
+		}
+		if finals[node] != 1 {
+			t.Errorf("node %d sent %d final barriers, want 1", node, finals[node])
+		}
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	if id, n, err := parseShard("2/5"); err != nil || id != 2 || n != 5 {
+		t.Errorf("parseShard(2/5) = %d, %d, %v", id, n, err)
+	}
+	if id, n, err := parseShard(""); err != nil || id != 0 || n != 0 {
+		t.Errorf("parseShard(\"\") = %d, %d, %v", id, n, err)
+	}
+	for _, bad := range []string{"5/5", "-1/3", "x/3", "2", "2/", "/3", "2/0"} {
+		if _, _, err := parseShard(bad); err == nil {
+			t.Errorf("parseShard(%q) accepted", bad)
+		}
+	}
+}
+
 func TestRunEmptyDir(t *testing.T) {
 	recv, err := wire.NewReceiver("127.0.0.1:0", func(wire.Frame) {})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer recv.Close()
-	if err := run(t.TempDir(), recv.Addr(), false, time.Second, 100, 200, 1); err == nil {
+	cfg := runConfig{in: t.TempDir(), connect: recv.Addr(), pollEvery: time.Second,
+		threshold: 100, sampleSize: 200, workers: 1}
+	if err := run(cfg); err == nil {
 		t.Error("empty capture dir accepted")
 	}
 }
 
 func TestRunMissingDir(t *testing.T) {
-	if err := run("/nonexistent/captures", "127.0.0.1:1", false, time.Second, 100, 200, 1); err == nil {
+	cfg := runConfig{in: "/nonexistent/captures", connect: "127.0.0.1:1", pollEvery: time.Second,
+		threshold: 100, sampleSize: 200, workers: 1}
+	if err := run(cfg); err == nil {
 		t.Error("missing dir accepted")
 	}
 }

@@ -1,0 +1,182 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"exiot/internal/organizer"
+	"exiot/internal/packet"
+	"exiot/internal/trw"
+	"exiot/internal/wire"
+)
+
+func sampleBatchEvent(t *testing.T) SamplerEvent {
+	t.Helper()
+	base := time.Date(2021, 4, 8, 13, 0, 0, 0, time.UTC)
+	var pkts []packet.Packet
+	for i := 0; i < 5; i++ {
+		p := packet.Packet{
+			Timestamp:   base.Add(time.Duration(i) * 250 * time.Millisecond),
+			TotalLength: 40,
+			TTL:         64,
+			Proto:       packet.TCP,
+			SrcIP:       packet.IP(0x0A000001),
+			DstIP:       packet.IP(0x2C000000 + uint32(i)),
+			SrcPort:     40000,
+			DstPort:     23,
+			Seq:         1000 + uint32(i),
+			DataOffset:  5,
+			Flags:       packet.FlagSYN,
+			Window:      1024,
+		}
+		p.Normalize()
+		pkts = append(pkts, p)
+	}
+	ip := packet.IP(0x0A000001)
+	return SamplerEvent{
+		Kind: SamplerBatch,
+		Batch: &organizer.Batch{
+			IP:         ip,
+			IPString:   ip.String(),
+			FirstSeen:  base,
+			DetectedAt: base.Add(time.Second),
+			Sample:     pkts,
+			SampleSize: len(pkts),
+			TraceID:    0xDEADBEEF,
+		},
+		TraceID: 0xDEADBEEF,
+	}
+}
+
+// roundTripV2 encodes e binary, wraps it in a v2 frame, and decodes.
+func roundTripV2(t *testing.T, e SamplerEvent) SamplerEvent {
+	t.Helper()
+	kind, payload, err := AppendEncodeEvent(nil, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeEvent(wire.Frame{Kind: kind, Payload: payload, Version: wire.Version2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestBinaryBatchRoundTrip(t *testing.T) {
+	in := sampleBatchEvent(t)
+	out := roundTripV2(t, in)
+	if out.Kind != SamplerBatch || out.TraceID != in.TraceID {
+		t.Fatalf("decoded %+v", out)
+	}
+	if !reflect.DeepEqual(in.Batch, out.Batch) {
+		t.Errorf("batch mismatch:\n in: %+v\nout: %+v", in.Batch, out.Batch)
+	}
+}
+
+func TestBinaryFlowEndRoundTrip(t *testing.T) {
+	base := time.Date(2021, 4, 8, 13, 0, 0, 123456789, time.UTC)
+	in := SamplerEvent{
+		Kind:       SamplerFlowEnd,
+		IP:         packet.IP(0x0A000002),
+		FirstSeen:  base,
+		DetectedAt: base.Add(3 * time.Second),
+		LastSeen:   base.Add(40 * time.Minute),
+		TraceID:    42,
+	}
+	out := roundTripV2(t, in)
+	out.Trace = nil
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("flow end mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestBinaryReportRoundTrip(t *testing.T) {
+	in := SamplerEvent{
+		Kind: SamplerReport,
+		Report: &trw.SecondReport{
+			Second:       time.Date(2021, 4, 8, 13, 0, 7, 0, time.UTC),
+			Total:        1200,
+			TCP:          900,
+			UDP:          250,
+			ICMP:         50,
+			Backscatter:  17,
+			NewScanFlows: 3,
+			PortPackets:  map[uint16]int{23: 400, 2323: 120, 80: 77},
+		},
+	}
+	out := roundTripV2(t, in)
+	if !reflect.DeepEqual(in.Report, out.Report) {
+		t.Errorf("report mismatch:\n in: %+v\nout: %+v", in.Report, out.Report)
+	}
+
+	// A report with no port activity must round-trip with a nil map —
+	// downstream equivalence checks distinguish nil from empty.
+	in.Report.PortPackets = nil
+	out = roundTripV2(t, in)
+	if out.Report.PortPackets != nil {
+		t.Errorf("empty PortPackets decoded non-nil: %+v", out.Report.PortPackets)
+	}
+}
+
+func TestBinaryDecodeTruncated(t *testing.T) {
+	in := sampleBatchEvent(t)
+	kind, payload, err := AppendEncodeEvent(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, 10, len(payload) / 2, len(payload) - 1} {
+		if _, err := DecodeEvent(wire.Frame{Kind: kind, Payload: payload[:cut], Version: wire.Version2}); err == nil {
+			t.Errorf("truncated payload (%d of %d bytes) decoded without error", cut, len(payload))
+		}
+	}
+}
+
+// TestMixedVersionDecode proves one receiver-side decode path handles
+// both sender generations: the same event encoded as v1 JSON and as v2
+// binary decodes to the same SamplerEvent.
+func TestMixedVersionDecode(t *testing.T) {
+	events := []SamplerEvent{
+		sampleBatchEvent(t),
+		{
+			Kind:       SamplerFlowEnd,
+			IP:         packet.IP(0x0A000003),
+			FirstSeen:  time.Date(2021, 4, 8, 13, 0, 1, 0, time.UTC),
+			DetectedAt: time.Date(2021, 4, 8, 13, 0, 2, 0, time.UTC),
+			LastSeen:   time.Date(2021, 4, 8, 13, 59, 0, 0, time.UTC),
+			TraceID:    7,
+		},
+		{
+			Kind: SamplerReport,
+			Report: &trw.SecondReport{
+				Second: time.Date(2021, 4, 8, 13, 0, 3, 0, time.UTC),
+				Total:  10, TCP: 10,
+				PortPackets: map[uint16]int{8080: 10},
+			},
+		},
+	}
+	for i, e := range events {
+		k1, p1, err := EncodeEvent(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k2, p2, err := AppendEncodeEvent(nil, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k1 != k2 {
+			t.Fatalf("event %d: kind %d (v1) vs %d (v2)", i, k1, k2)
+		}
+		fromV1, err := DecodeEvent(wire.Frame{Kind: k1, Payload: p1})
+		if err != nil {
+			t.Fatalf("event %d v1 decode: %v", i, err)
+		}
+		fromV2, err := DecodeEvent(wire.Frame{Kind: k2, Payload: p2, Version: wire.Version2})
+		if err != nil {
+			t.Fatalf("event %d v2 decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(fromV1, fromV2) {
+			t.Errorf("event %d decodes diverge:\n v1: %+v\n v2: %+v", i, fromV1, fromV2)
+		}
+	}
+}

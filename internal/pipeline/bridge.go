@@ -59,8 +59,15 @@ func EncodeEvent(e SamplerEvent) (wire.Kind, []byte, error) {
 	}
 }
 
-// DecodeEvent deserializes a wire frame back into a sampler event.
+// DecodeEvent deserializes a wire frame back into a sampler event,
+// dispatching on the frame's protocol version: v2 frames carry the
+// compact binary payloads (binenc.go), everything else the legacy JSON.
+// The payload is fully copied out, so the frame's (pooled) buffer may be
+// reused as soon as DecodeEvent returns.
 func DecodeEvent(f wire.Frame) (SamplerEvent, error) {
+	if f.Version == wire.Version2 {
+		return decodeEventV2(f)
+	}
 	switch f.Kind {
 	case wire.KindSample:
 		b, err := organizer.Decode(f.Payload)

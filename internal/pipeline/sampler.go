@@ -7,7 +7,9 @@
 package pipeline
 
 import (
+	"math"
 	"runtime"
+	"slices"
 	"time"
 
 	"exiot/internal/organizer"
@@ -78,8 +80,15 @@ type SamplerEvent struct {
 // organizer, consuming hourly packet batches. With one worker it runs the
 // serial detector on the caller's goroutine; with more it runs the
 // sharded detector, whose merged event stream is identical to the serial
-// one — either way events reach emit in deterministic order on the
-// caller's goroutine, so the organizer and everything downstream stay
+// one.
+//
+// Events buffer per hour and emit at the ProcessHour/Flush barrier in
+// *canonical* order — a total order derived purely from event content
+// (see canonCompare), never from processing position. That makes the
+// emitted stream a pure function of the hour's packet set: serial,
+// sharded-in-process, and an N-node cluster merge (internal/pipeline
+// Aggregator) all deliver byte-identical hours. Emission stays on the
+// caller's goroutine, so the organizer and everything downstream remain
 // single-threaded.
 type Sampler struct {
 	detector *trw.Detector        // workers == 1
@@ -90,11 +99,10 @@ type Sampler struct {
 
 	hoursProcessed int
 	packetsTotal   int64
-	// eventSeq counts every emitted event. Emission happens serially on
-	// the caller's goroutine in deterministic order (the sharded
-	// detector's merge is identical to the serial stream), so trace IDs
-	// derived from it are identical at any worker count.
-	eventSeq uint64
+
+	// pending buffers the current hour's events until the barrier, where
+	// they sort into canonical order and emit.
+	pending []SamplerEvent
 
 	// liveness is the ingest health check beaten on every processed hour.
 	liveness *telemetry.Check
@@ -153,7 +161,7 @@ func (s *Sampler) onDetectorEvent(e trw.Event) {
 		if b, ok := s.org.Organize(e); ok {
 			s.accepted.Inc()
 			s.evBatch.Inc()
-			b.TraceID = trace.NewID(b.IP, b.DetectedAt.Truncate(time.Hour), s.eventSeq)
+			b.TraceID = trace.EventID(b.IP, uint8(SamplerBatch), b.FirstSeen, b.DetectedAt)
 			ev := SamplerEvent{Kind: SamplerBatch, Batch: &b, TraceID: b.TraceID}
 			if traceOn {
 				if f := trace.Default().Sample(b.TraceID, b.IPString, "batch"); f != nil {
@@ -164,7 +172,7 @@ func (s *Sampler) onDetectorEvent(e trw.Event) {
 					ev.Trace = f
 				}
 			}
-			s.emitSeq(ev)
+			s.pending = append(s.pending, ev)
 		} else {
 			s.dropped.Inc()
 		}
@@ -179,7 +187,7 @@ func (s *Sampler) onDetectorEvent(e trw.Event) {
 			FirstSeen:  e.FirstSeen,
 			DetectedAt: e.DetectedAt,
 			LastSeen:   e.LastSeen,
-			TraceID:    trace.NewID(e.IP, e.DetectedAt.Truncate(time.Hour), s.eventSeq),
+			TraceID:    trace.EventID(e.IP, uint8(SamplerFlowEnd), e.DetectedAt, e.LastSeen),
 		}
 		if trace.Default().Enabled() {
 			if f := trace.Default().Sample(ev.TraceID, e.IP.String(), "flow_end"); f != nil {
@@ -188,20 +196,85 @@ func (s *Sampler) onDetectorEvent(e trw.Event) {
 				ev.Trace = f
 			}
 		}
-		s.emitSeq(ev)
+		s.pending = append(s.pending, ev)
 	case trw.EventSecondReport:
 		s.evReport.Inc()
-		s.emitSeq(SamplerEvent{Kind: SamplerReport, Report: e.Report})
+		s.pending = append(s.pending, SamplerEvent{Kind: SamplerReport, Report: e.Report})
 	}
 }
 
-// emitSeq delivers one event downstream and advances the event
-// sequence. Every emitted event consumes a sequence number — reports
-// too, though they carry no trace ID — so the numbering (and therefore
-// every trace ID) is a stable property of the event stream itself.
-func (s *Sampler) emitSeq(e SamplerEvent) {
-	s.eventSeq++
-	s.emit(e)
+// canonKey projects a sampler event onto its canonical emission instant:
+// the nanosecond at which the serial detector's clock makes the event
+// due. A second's report is due when the clock passes the second's end; a
+// sampled batch is due at its last (latest-stamped) sample packet; a
+// flow-end is due at the hourly sweep, after everything else. Only event
+// content feeds the key.
+func canonKey(e *SamplerEvent) int64 {
+	switch e.Kind {
+	case SamplerReport:
+		return e.Report.Second.Add(time.Second).UnixNano()
+	case SamplerBatch:
+		if n := len(e.Batch.Sample); n > 0 {
+			return e.Batch.Sample[n-1].Timestamp.UnixNano()
+		}
+		return e.Batch.DetectedAt.UnixNano()
+	default: // SamplerFlowEnd
+		return math.MaxInt64
+	}
+}
+
+// canonCompare is the canonical total order on one hour's events:
+// (due instant, kind, source IP, first-seen, detected-at). The kind rank
+// puts a second's report ahead of a batch due at the same instant —
+// the report for second S-1 flushes before the packet at S processes —
+// and flow-ends after everything. Two events equal under this order are
+// identical, so the sort is a total order over any hour the telescope
+// can produce, regardless of how the source space was partitioned.
+func canonCompare(a, b SamplerEvent) int {
+	if c := cmpInt64(canonKey(&a), canonKey(&b)); c != 0 {
+		return c
+	}
+	if c := int(a.Kind) - int(b.Kind); c != 0 {
+		return c
+	}
+	aip, bip := a.IP, b.IP
+	if a.Kind == SamplerBatch {
+		aip, bip = a.Batch.IP, b.Batch.IP
+	}
+	if c := cmpInt64(int64(uint32(aip)), int64(uint32(bip))); c != 0 {
+		return c
+	}
+	af, bf := a.FirstSeen, b.FirstSeen
+	ad, bd := a.DetectedAt, b.DetectedAt
+	if a.Kind == SamplerBatch {
+		af, ad = a.Batch.FirstSeen, a.Batch.DetectedAt
+		bf, bd = b.Batch.FirstSeen, b.Batch.DetectedAt
+	}
+	if c := cmpInt64(af.UnixNano(), bf.UnixNano()); c != 0 {
+		return c
+	}
+	return cmpInt64(ad.UnixNano(), bd.UnixNano())
+}
+
+func cmpInt64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// flushPending sorts the hour's buffered events into canonical order and
+// emits them downstream.
+func (s *Sampler) flushPending() {
+	slices.SortFunc(s.pending, canonCompare)
+	for i := range s.pending {
+		s.emit(s.pending[i])
+		s.pending[i] = SamplerEvent{} // release batch/sample references
+	}
+	s.pending = s.pending[:0]
 }
 
 // ProcessHour consumes one hour of telescope packets (sorted by time) and
@@ -220,6 +293,7 @@ func (s *Sampler) ProcessHour(pkts []packet.Packet, hourEnd time.Time) {
 		}
 		s.detector.EndHour(hourEnd)
 	}
+	s.flushPending()
 	s.hoursProcessed++
 	s.packetsTotal += int64(len(pkts))
 	metSamplerPackets.Add(int64(len(pkts)))
@@ -232,10 +306,12 @@ func (s *Sampler) ProcessHour(pkts []packet.Packet, hourEnd time.Time) {
 func (s *Sampler) Flush(now time.Time) {
 	if s.sharded != nil {
 		s.sharded.Flush(now)
+		s.flushPending()
 		s.sharded.Close()
 		return
 	}
 	s.detector.Flush(now)
+	s.flushPending()
 }
 
 // Close stops the shard goroutines without flushing (abandoning a run

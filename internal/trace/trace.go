@@ -3,9 +3,10 @@
 // wire transport, classify pre-compute, scan-module batching, active
 // probing, annotation, enrichment, store emit) with a queue-wait vs.
 // work-time split and stage-specific attributes. Trace IDs derive
-// deterministically from (source IP, trigger hour, event sequence) —
-// never from the wall clock or randomness — so the same flow gets the
-// same ID at any worker count, on both sides of the wire, and across a
+// deterministically from event content (source IP, event kind, and the
+// event's own timestamps) — never from the wall clock, randomness, or
+// node-local counters — so the same flow gets the same ID at any worker
+// count, on any cluster shard, on both sides of the wire, and across a
 // WAL replay. Completed traces land in a bounded lock-sharded ring
 // store (plus a slowest-N-per-stage tail sample), feed the
 // exiot_event_latency_seconds histograms, and surface slow outliers
@@ -55,12 +56,37 @@ var (
 // same value. Zero means "no trace".
 type ID uint64
 
-// NewID derives the deterministic trace ID for an event.
+// NewID derives the deterministic trace ID for an event from a local
+// sequence counter. EventID is preferred where the same event can be
+// produced by different processes (a sharded cluster): a node-local
+// sequence diverges across deployment shapes, event content does not.
 func NewID(ip packet.IP, triggerHour time.Time, seq uint64) ID {
 	var buf [20]byte
 	binary.BigEndian.PutUint32(buf[0:], uint32(ip))
 	binary.BigEndian.PutUint64(buf[4:], uint64(triggerHour.Unix()))
 	binary.BigEndian.PutUint64(buf[12:], seq)
+	h := fnv.New64a()
+	h.Write(buf[:])
+	id := ID(h.Sum64())
+	if id == 0 {
+		id = 1 // reserve 0 for "untraced"
+	}
+	return id
+}
+
+// EventID derives the deterministic trace ID for a sampler event purely
+// from the event's own content: the flow's source address, the event
+// kind, and two of its timestamps (nanosecond precision). Because no
+// node-local state is involved, every deployment shape — serial,
+// sharded-in-process, or an N-node cluster — assigns the same ID to the
+// same event, which is what lets a distributed run produce a feed
+// byte-identical to a single-node one. Zero means "no trace".
+func EventID(ip packet.IP, kind uint8, t1, t2 time.Time) ID {
+	var buf [21]byte
+	binary.BigEndian.PutUint32(buf[0:], uint32(ip))
+	buf[4] = kind
+	binary.BigEndian.PutUint64(buf[5:], uint64(t1.UnixNano()))
+	binary.BigEndian.PutUint64(buf[13:], uint64(t2.UnixNano()))
 	h := fnv.New64a()
 	h.Write(buf[:])
 	id := ID(h.Sum64())

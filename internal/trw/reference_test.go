@@ -139,6 +139,14 @@ func (d *refDetector) tickSecond(ts time.Time) {
 }
 
 func (d *refDetector) EndHour(now time.Time) {
+	// Mirror the arena detector: the in-flight second flushes at the hour
+	// barrier so each hour's report stream is self-contained.
+	if !d.curSecond.IsZero() {
+		rep := d.report
+		d.emit(Event{Kind: EventSecondReport, Report: &rep})
+		d.curSecond = time.Time{}
+		d.report = SecondReport{}
+	}
 	var ended []packet.IP
 	for ip, st := range d.state {
 		if now.Sub(st.last) >= d.cfg.FlowEndGap {
@@ -175,10 +183,6 @@ func (d *refDetector) EndHour(now time.Time) {
 func (d *refDetector) AdvanceClock(ts time.Time) { d.tickSecond(ts) }
 
 func (d *refDetector) Flush(now time.Time) {
-	if !d.curSecond.IsZero() {
-		rep := d.report
-		d.emit(Event{Kind: EventSecondReport, Report: &rep})
-	}
 	d.EndHour(now.Add(24 * time.Hour))
 }
 

@@ -72,9 +72,11 @@ type ShardedDetector struct {
 
 	// Reused coordinator scratch: per-shard routing batches (the slices
 	// themselves come from shardBatchPool and are returned by the shard
-	// goroutines), the merge buffer, and the barrier channel.
+	// goroutines), the merge buffer, the per-second report aggregation
+	// map, and the barrier channel.
 	routeBufs   [][]shardPkt
 	mergeBuf    []taggedEvent
+	aggScratch  map[int64]*SecondReport
 	barrierDone chan struct{}
 
 	closed bool
@@ -192,6 +194,7 @@ func NewShardedDetector(cfg Config, workers int, emit func(Event)) *ShardedDetec
 		emit:        emit,
 		shards:      make([]*shard, workers),
 		routeBufs:   make([][]shardPkt, workers),
+		aggScratch:  make(map[int64]*SecondReport),
 		barrierDone: make(chan struct{}, workers),
 	}
 	for i := range d.shards {
@@ -202,6 +205,10 @@ func NewShardedDetector(cfg Config, workers int, emit func(Event)) *ShardedDetec
 			flowTable:  metShardFlowTable.With(label),
 		}
 		s.det = newDetector(cfg, label, s.collect)
+		// collect copies the report struct before the detector reuses it,
+		// and deliver folds the flat port tallies out of the detector's
+		// arena at the barrier, so shard detectors can recycle both.
+		s.det.recycleReports = true
 		d.shards[i] = s
 		d.wg.Add(1)
 		go s.run(&d.wg)
@@ -212,10 +219,15 @@ func NewShardedDetector(cfg Config, workers int, emit func(Event)) *ShardedDetec
 // NumShards returns the shard count.
 func (d *ShardedDetector) NumShards() int { return len(d.shards) }
 
-// shardIndex spreads the 32-bit source address over n shards with a
+// ShardIndex spreads the 32-bit source address over n shards with a
 // Fibonacci multiplicative hash, so adjacent addresses (a scanning /24,
-// say) do not pile onto one shard.
-func shardIndex(ip packet.IP, n int) int {
+// say) do not pile onto one shard. It is exported because it defines
+// shard *ownership* for the whole system: a multi-node telescope
+// deployment partitions source space with the same function
+// (`flowsampler -shard i/N` keeps exactly the packets where
+// ShardIndex(src, N) == i), which is what makes the cluster merge
+// byte-identical to a single-node run.
+func ShardIndex(ip packet.IP, n int) int {
 	h := uint64(uint32(ip)) * 0x9E3779B97F4A7C15
 	return int((h >> 32) % uint64(n))
 }
@@ -243,7 +255,7 @@ func (d *ShardedDetector) ProcessBatch(pkts []packet.Packet) {
 				d.curSecond = d.curSecond.Add(time.Second)
 			}
 		}
-		si := shardIndex(p.SrcIP, n)
+		si := ShardIndex(p.SrcIP, n)
 		if batches[si] == nil {
 			batches[si] = newShardBatch()
 		}
@@ -268,7 +280,9 @@ func (d *ShardedDetector) ProcessBatch(pkts []packet.Packet) {
 }
 
 // EndHour drains the shards, runs the hourly sweep on each, and delivers
-// the merged event stream for everything since the previous barrier.
+// the merged event stream for everything since the previous barrier. Like
+// the serial detector, the in-flight second flushes at the barrier, so
+// each hour's merged stream is self-contained.
 func (d *ShardedDetector) EndHour(now time.Time) {
 	if d.closed {
 		return
@@ -279,8 +293,7 @@ func (d *ShardedDetector) EndHour(now time.Time) {
 		}
 		s.in.Push(shardOp{kind: opEndHour, ts: now})
 	}
-	d.barrier()
-	d.deliver(false)
+	d.endBarrier()
 }
 
 // Flush delivers the pending per-second report, ends every live scan
@@ -295,8 +308,23 @@ func (d *ShardedDetector) Flush(now time.Time) {
 		}
 		s.in.Push(shardOp{kind: opFlush, ts: now})
 	}
+	d.endBarrier()
+}
+
+// endBarrier finishes an EndHour/Flush: the serial detector emits the
+// in-flight second's report just before the sweep, so mark it due at
+// MaxInt64 (after all packet-triggered events, before sweep events land
+// via the strict-< interleave). The per-hour clock then resets — the next
+// hour re-anchors on its first packet, exactly like the serial detector
+// after its own EndHour.
+func (d *ShardedDetector) endBarrier() {
+	if !d.curSecond.IsZero() {
+		d.marks = append(d.marks, reportMark{second: d.curSecond, trigger: math.MaxInt64})
+	}
 	d.barrier()
-	d.deliver(true)
+	d.deliver()
+	d.curSecond = time.Time{}
+	d.lastTs = time.Time{}
 }
 
 // barrier waits until every shard has executed all queued work, then
@@ -319,10 +347,16 @@ func (d *ShardedDetector) barrier() {
 // deliver merges the shard-local buffers into one deterministic stream
 // and hands it to emit on the caller's goroutine. Must run right after a
 // barrier (shards idle).
-func (d *ShardedDetector) deliver(flush bool) {
+func (d *ShardedDetector) deliver() {
 	// Per-second reports: sum the shard-local reports for each second.
-	agg := make(map[int64]*SecondReport)
+	// The aggregation map is coordinator scratch (cleared per barrier);
+	// the merged *SecondReport values escape downstream and stay freshly
+	// allocated. The shard-local port tallies are flat pairs in each
+	// detector's arena (recycleReports); folding them here and truncating
+	// the arenas makes a whole hour of per-shard reports allocation-free.
+	agg := d.aggScratch
 	for _, s := range d.shards {
+		pairs := s.det.portPairs
 		for i := range s.reports {
 			r := &s.reports[i]
 			key := r.Second.UnixNano()
@@ -332,8 +366,17 @@ func (d *ShardedDetector) deliver(flush bool) {
 				agg[key] = dst
 			}
 			addReport(dst, r)
+			if r.pairLen > 0 {
+				if dst.PortPackets == nil {
+					dst.PortPackets = make(map[uint16]int, r.pairLen)
+				}
+				for _, pc := range pairs[r.pairOff : r.pairOff+r.pairLen] {
+					dst.PortPackets[pc.port] += int(pc.n)
+				}
+			}
 		}
 		s.reports = s.reports[:0]
+		s.det.portPairs = s.det.portPairs[:0]
 	}
 
 	// Flow events: replay in global trigger order; sweep events (equal
@@ -357,16 +400,9 @@ func (d *ShardedDetector) deliver(flush bool) {
 		return 0
 	})
 
-	marks := d.marks
-	if flush && !d.curSecond.IsZero() {
-		// The serial Flush emits the in-flight report before the final
-		// sweep; all shards were clock-aligned, so their pending reports
-		// aggregate under the current second.
-		marks = append(marks, reportMark{second: d.curSecond, trigger: math.MaxInt64})
-	}
-
 	// Interleave: the report for a second is due before the packet that
 	// crossed it, so at an equal trigger reports go first.
+	marks := d.marks
 	ei := 0
 	emit := func(e Event) {
 		metMergedEvents.Inc()
@@ -392,6 +428,7 @@ func (d *ShardedDetector) deliver(flush bool) {
 	clear(evs)
 	d.mergeBuf = evs[:0]
 	d.marks = d.marks[:0]
+	clear(agg)
 }
 
 // addReport folds src into dst (same second).

@@ -121,6 +121,20 @@ type SecondReport struct {
 	Backscatter  int
 	NewScanFlows int
 	PortPackets  map[uint16]int
+
+	// Recycled-report form (sharded detectors only): the port tallies sit
+	// at [pairOff, pairOff+pairLen) of the owning detector's portPairs
+	// arena instead of in PortPackets. The coordinator folds them into
+	// the merged map at the barrier; reports that escape downstream never
+	// carry these.
+	pairOff, pairLen int32
+}
+
+// portPair is one flat (port, packet count) tally in a recycling
+// detector's per-hour arena.
+type portPair struct {
+	port uint16
+	n    uint32
 }
 
 // Event is one detector output.
@@ -194,6 +208,19 @@ type Detector struct {
 	repNewScans int
 	portCount   []uint32
 	portTouched []uint16
+
+	// recycleReports switches flushSecond to a reusable report struct
+	// whose port tallies live as flat (port, count) pairs in the portPairs
+	// arena instead of a freshly allocated map. Only the sharded detector
+	// enables it: its collect hook copies the struct immediately and the
+	// coordinator folds the pairs into the merged per-second maps at the
+	// barrier (then truncates the arena), so nothing downstream ever sees
+	// a recycled report and a whole hour of reports costs zero per-second
+	// allocations. The serial path keeps heap-allocated reports and maps
+	// because consumers retain them.
+	recycleReports bool
+	repScratch     SecondReport
+	portPairs      []portPair
 
 	// Same-source run cache: one table probe serves consecutive packets
 	// of one source (scanners burst). Invalidated by every sweep.
@@ -336,39 +363,57 @@ func (d *Detector) tickSecond(ts int64) {
 		return
 	}
 	for d.curSec < sec {
-		d.flushSecond(true)
+		d.flushSecond()
 	}
 }
 
-// flushSecond emits the report for the current second; advance moves the
-// clock to the next second and resets the counters (the final Flush emits
-// without consuming, mirroring the original detector).
-func (d *Detector) flushSecond(advance bool) {
-	rep := &SecondReport{
-		Second:       unixTime(d.curSec),
-		Total:        d.repTotal,
-		TCP:          d.repTCP,
-		UDP:          d.repUDP,
-		ICMP:         d.repICMP,
-		Backscatter:  d.repBackscat,
-		NewScanFlows: d.repNewScans,
-	}
-	if len(d.portTouched) > 0 {
-		m := make(map[uint16]int, len(d.portTouched))
-		for _, port := range d.portTouched {
-			m[port] = int(d.portCount[port])
-			if advance {
+// flushSecond emits the report for the current second, moves the clock to
+// the next second, and resets the counters.
+func (d *Detector) flushSecond() {
+	var rep *SecondReport
+	if d.recycleReports {
+		d.repScratch = SecondReport{
+			Second:       unixTime(d.curSec),
+			Total:        d.repTotal,
+			TCP:          d.repTCP,
+			UDP:          d.repUDP,
+			ICMP:         d.repICMP,
+			Backscatter:  d.repBackscat,
+			NewScanFlows: d.repNewScans,
+		}
+		rep = &d.repScratch
+		if len(d.portTouched) > 0 {
+			rep.pairOff = int32(len(d.portPairs))
+			rep.pairLen = int32(len(d.portTouched))
+			for _, port := range d.portTouched {
+				d.portPairs = append(d.portPairs, portPair{port: port, n: d.portCount[port]})
 				d.portCount[port] = 0
 			}
+			d.portTouched = d.portTouched[:0]
 		}
-		rep.PortPackets = m
+	} else {
+		rep = &SecondReport{
+			Second:       unixTime(d.curSec),
+			Total:        d.repTotal,
+			TCP:          d.repTCP,
+			UDP:          d.repUDP,
+			ICMP:         d.repICMP,
+			Backscatter:  d.repBackscat,
+			NewScanFlows: d.repNewScans,
+		}
+		if len(d.portTouched) > 0 {
+			m := make(map[uint16]int, len(d.portTouched))
+			for _, port := range d.portTouched {
+				m[port] = int(d.portCount[port])
+				d.portCount[port] = 0
+			}
+			rep.PortPackets = m
+			d.portTouched = d.portTouched[:0]
+		}
 	}
-	if advance {
-		d.portTouched = d.portTouched[:0]
-		d.repTotal, d.repTCP, d.repUDP, d.repICMP = 0, 0, 0, 0
-		d.repBackscat, d.repNewScans = 0, 0
-		d.curSec += nanosPerSecond
-	}
+	d.repTotal, d.repTCP, d.repUDP, d.repICMP = 0, 0, 0, 0
+	d.repBackscat, d.repNewScans = 0, 0
+	d.curSec += nanosPerSecond
 	d.emit(Event{Kind: EventSecondReport, Report: rep})
 }
 
@@ -380,6 +425,15 @@ func (d *Detector) flushSecond(advance bool) {
 // into the same stream). The sweep is epoch-incremental: only buckets old
 // enough to hold expirable flows are visited, never the whole table.
 func (d *Detector) EndHour(now time.Time) {
+	// Flush the in-flight second first so every hour's report stream is
+	// self-contained: with hour-aligned input the pending second is always
+	// complete at the barrier, and emitting it here (instead of carrying
+	// it into the next hour) keeps the per-hour event set identical no
+	// matter how the telescope is partitioned across nodes.
+	if d.secInit {
+		d.flushSecond()
+		d.secInit = false
+	}
 	cutoff := now.UnixNano() - d.flowEndGapN
 	d.ended = d.tbl.sweep(cutoff, d.ended[:0])
 	d.lastIdx = -1
@@ -455,9 +509,6 @@ func (d *Detector) AdvanceClock(ts time.Time) {
 // Flush emits the pending per-second report and any in-flight short
 // samples, then ends every live scan flow. Call once at end of input.
 func (d *Detector) Flush(now time.Time) {
-	if d.secInit {
-		d.flushSecond(false)
-	}
 	d.EndHour(now.Add(24 * time.Hour))
 }
 

@@ -1,14 +1,31 @@
 // Package wire is the transport between the CAIDA-side flow sampler and
 // the eX-IoT feed server: length-prefixed frames over TCP with
-// stop-and-wait acknowledgements and transparent reconnection, standing
-// in for the paper's socat-to-local-port plus SSH-tunnel arrangement. The
-// design goal is the same one the paper states: "if any network
-// communication is disrupted, the flow detection and sampling module will
-// go idle until the next stage can reconnect ... no data will be lost due
-// to network failures."
+// acknowledgements and transparent reconnection, standing in for the
+// paper's socat-to-local-port plus SSH-tunnel arrangement. The design
+// goal is the same one the paper states: "if any network communication
+// is disrupted, the flow detection and sampling module will go idle
+// until the next stage can reconnect ... no data will be lost due to
+// network failures."
+//
+// Two protocol versions share one listener:
+//
+//   - v1 (legacy): 13-byte headers, one stop-and-wait ack per frame,
+//     JSON payloads, receiver-side duplicate suppression by a global
+//     sequence. Still fully supported for old senders.
+//   - v2: a connection opens with the "EXW2" magic, then 26-byte headers
+//     carrying (shard ID, shard count, per-shard monotone sequence, hour
+//     epoch). Frames are batched into one coalesced write with a single
+//     cumulative ack per batch, payloads are binary (see
+//     pipeline.AppendEncodeEvent), and read/write scratch is pooled so
+//     steady-state frame I/O does not allocate. Delivery is
+//     at-least-once: the receiver performs no de-duplication — the
+//     (shard, sequence) tags give the downstream aggregator everything
+//     it needs to drop replayed frames and reorder across reconnects.
 package wire
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -47,6 +64,26 @@ const (
 	KindReport
 	// KindControl carries control-plane messages.
 	KindControl
+	// KindHourEnd is a v2 barrier: the sending shard has emitted every
+	// event for the frame's HourEpoch. Its payload is empty.
+	KindHourEnd
+)
+
+// Version2 marks frames read from a v2 connection. Version 0 (the zero
+// value of Frame, and everything read from a legacy connection) means v1
+// JSON payloads.
+const Version2 = 2
+
+// v2 frame flags.
+const (
+	// FlagAckRequest asks the receiver to echo this frame's sequence
+	// number once it (and therefore every frame before it on the
+	// connection) has been handed to the application. One cumulative ack
+	// per coalesced batch replaces v1's per-frame stop-and-wait.
+	FlagAckRequest uint8 = 1 << 0
+	// FlagFinal marks the last hour barrier of a shard's run (end of
+	// input, the sampler flushed).
+	FlagFinal uint8 = 1 << 1
 )
 
 // Frame is one transport unit.
@@ -54,11 +91,54 @@ type Frame struct {
 	Seq     uint64
 	Kind    Kind
 	Payload []byte
+
+	// v2 header fields. Version is 0 for frames from legacy connections
+	// and Version2 for frames carrying shard/epoch tags.
+	Version    uint8
+	Flags      uint8
+	ShardID    uint16
+	ShardCount uint16
+	// HourEpoch is the Unix second of the end of the hour the frame's
+	// event belongs to.
+	HourEpoch int64
 }
 
 // maxFrameSize bounds a frame payload (a 200-packet sample serializes to
 // well under this).
 const maxFrameSize = 8 << 20
+
+// magicV2 opens every v2 connection. The first byte of a legacy v1 frame
+// is the top byte of a 64-bit sequence number — zero in any realistic
+// stream — so the magic cannot be confused with v1 traffic.
+var magicV2 = [4]byte{'E', 'X', 'W', '2'}
+
+// v2HeaderSize is the fixed v2 frame header:
+// [8 Seq][1 Kind][1 Flags][2 ShardID][2 ShardCount][8 HourEpoch][4 len].
+const v2HeaderSize = 26
+
+// payloadPool recycles frame payload buffers. readFrame/readFrameV2 draw
+// from it; the receiver returns the buffer after the handler runs, so
+// handlers must copy anything they retain (every decoder in this
+// codebase does).
+var payloadPool sync.Pool // holds *[]byte
+
+func getPayload(n int) []byte {
+	if v := payloadPool.Get(); v != nil {
+		b := *(v.(*[]byte))
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n, max(n, 4096))
+}
+
+func putPayload(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	payloadPool.Put(&b)
+}
 
 func writeFrame(w io.Writer, f *Frame) error {
 	var hdr [13]byte
@@ -84,7 +164,7 @@ func readFrame(r io.Reader) (*Frame, error) {
 	f := &Frame{
 		Seq:     binary.BigEndian.Uint64(hdr[0:]),
 		Kind:    Kind(hdr[8]),
-		Payload: make([]byte, n),
+		Payload: getPayload(int(n)),
 	}
 	if _, err := io.ReadFull(r, f.Payload); err != nil {
 		return nil, err
@@ -92,35 +172,103 @@ func readFrame(r io.Reader) (*Frame, error) {
 	return f, nil
 }
 
-// Sender ships frames to a receiver with at-least-once delivery: each
-// frame is retried across reconnects until acknowledged. Receivers
-// de-duplicate by sequence number, so the stream is effectively
-// exactly-once in order.
+// appendFrameV2 serializes f (which must carry its v2 fields) onto dst.
+func appendFrameV2(dst []byte, f *Frame) []byte {
+	var hdr [v2HeaderSize]byte
+	binary.BigEndian.PutUint64(hdr[0:], f.Seq)
+	hdr[8] = byte(f.Kind)
+	hdr[9] = f.Flags
+	binary.BigEndian.PutUint16(hdr[10:], f.ShardID)
+	binary.BigEndian.PutUint16(hdr[12:], f.ShardCount)
+	binary.BigEndian.PutUint64(hdr[14:], uint64(f.HourEpoch))
+	binary.BigEndian.PutUint32(hdr[22:], uint32(len(f.Payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, f.Payload...)
+}
+
+// readFrameV2 fills f from r; f.Payload comes from the payload pool.
+func readFrameV2(r io.Reader, f *Frame) error {
+	var hdr [v2HeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[22:])
+	if n > maxFrameSize {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	f.Seq = binary.BigEndian.Uint64(hdr[0:])
+	f.Kind = Kind(hdr[8])
+	f.Flags = hdr[9]
+	f.ShardID = binary.BigEndian.Uint16(hdr[10:])
+	f.ShardCount = binary.BigEndian.Uint16(hdr[12:])
+	f.HourEpoch = int64(binary.BigEndian.Uint64(hdr[14:]))
+	f.Version = Version2
+	f.Payload = getPayload(int(n))
+	_, err := io.ReadFull(r, f.Payload)
+	return err
+}
+
+// senderFlushSize is the coalesced-write threshold: Queue auto-flushes
+// once this much encoded frame data is pending.
+const senderFlushSize = 128 << 10
+
+// Sender ships frames to a receiver with at-least-once delivery: frames
+// are retried across reconnects until acknowledged. On the v1 path each
+// Send is stop-and-wait and the receiver de-duplicates by sequence
+// number, so the stream is effectively exactly-once in order. On the v2
+// path (NewSenderV2) frames accumulate via Queue into one pooled write
+// buffer, go out as a single coalesced write with one cumulative ack,
+// and an unacknowledged batch replays wholesale on reconnect — the
+// receiver delivers everything and the downstream aggregator drops
+// replayed (shard, sequence) pairs.
 type Sender struct {
 	addr string
 	// RetryInterval is the idle wait between reconnect attempts.
 	RetryInterval time.Duration
-	// MaxRetries bounds reconnect attempts per Send (0 = unbounded).
+	// MaxRetries bounds reconnect attempts per Send/Flush (0 = unbounded).
 	MaxRetries int
 
 	mu     sync.Mutex
 	conn   net.Conn
 	seq    uint64
 	closed bool
+
+	// v2 state.
+	v2         bool
+	shardID    uint16
+	shardCount uint16
+	wbuf       []byte // encoded, unflushed frames
+	nQueued    int64  // frames in wbuf
+	flagsOff   int    // offset of the last queued frame's Flags byte
 }
 
-// NewSender creates a sender targeting addr. No connection is made until
-// the first Send.
+// NewSender creates a v1 sender targeting addr. No connection is made
+// until the first Send.
 func NewSender(addr string) *Sender {
 	return &Sender{addr: addr, RetryInterval: 50 * time.Millisecond, MaxRetries: 200}
 }
 
+// NewSenderV2 creates a v2 sender for shard shardID of shardCount. Use
+// Queue/Barrier/Flush instead of Send; no connection is made until the
+// first Flush.
+func NewSenderV2(addr string, shardID, shardCount int) *Sender {
+	s := NewSender(addr)
+	s.v2 = true
+	s.shardID = uint16(shardID)
+	s.shardCount = uint16(shardCount)
+	return s
+}
+
 // Send delivers one payload, blocking until the receiver acknowledges it.
+// v1 senders only.
 func (s *Sender) Send(kind Kind, payload []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return errors.New("wire: sender closed")
+	}
+	if s.v2 {
+		return errors.New("wire: Send on a v2 sender (use Queue/Flush)")
 	}
 	s.seq++
 	f := &Frame{Seq: s.seq, Kind: kind, Payload: payload}
@@ -141,6 +289,127 @@ func (s *Sender) Send(kind Kind, payload []byte) error {
 		}
 		time.Sleep(s.RetryInterval)
 	}
+}
+
+// Queue appends one event frame to the pending batch, copying payload
+// into the sender's write buffer (the caller may reuse payload
+// immediately). The batch flushes automatically once it reaches the
+// coalescing threshold, or explicitly via Flush/Barrier. v2 senders only.
+func (s *Sender) Queue(kind Kind, hourEpoch int64, payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queueLocked(kind, hourEpoch, 0, payload)
+}
+
+// Barrier queues a KindHourEnd marker for hourEpoch — "this shard has
+// emitted every event of this hour" — and flushes the pending batch so
+// the aggregator can close the hour. final marks the shard's last
+// barrier (end of input). v2 senders only.
+func (s *Sender) Barrier(hourEpoch int64, final bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var flags uint8
+	if final {
+		flags = FlagFinal
+	}
+	if err := s.queueLocked(KindHourEnd, hourEpoch, flags, nil); err != nil {
+		return err
+	}
+	return s.flushLocked()
+}
+
+func (s *Sender) queueLocked(kind Kind, hourEpoch int64, flags uint8, payload []byte) error {
+	if s.closed {
+		return errors.New("wire: sender closed")
+	}
+	if !s.v2 {
+		return errors.New("wire: Queue on a v1 sender (use Send)")
+	}
+	s.seq++
+	f := Frame{
+		Seq:        s.seq,
+		Kind:       kind,
+		Flags:      flags,
+		ShardID:    s.shardID,
+		ShardCount: s.shardCount,
+		HourEpoch:  hourEpoch,
+		Payload:    payload,
+	}
+	s.flagsOff = len(s.wbuf) + 9
+	s.wbuf = appendFrameV2(s.wbuf, &f)
+	s.nQueued++
+	if len(s.wbuf) >= senderFlushSize {
+		return s.flushLocked()
+	}
+	return nil
+}
+
+// Flush sends the pending batch as one coalesced write and blocks until
+// the receiver's cumulative ack covers it, reconnecting and replaying
+// the whole batch as needed. A no-op when nothing is queued.
+func (s *Sender) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("wire: sender closed")
+	}
+	return s.flushLocked()
+}
+
+func (s *Sender) flushLocked() error {
+	if len(s.wbuf) == 0 {
+		return nil
+	}
+	// The last frame of the batch carries the ack request; its echoed
+	// sequence acknowledges the entire batch.
+	s.wbuf[s.flagsOff] |= FlagAckRequest
+	attempts := 0
+	for {
+		if err := s.tryFlush(); err == nil {
+			metFramesSent.Add(s.nQueued)
+			s.wbuf = s.wbuf[:0]
+			s.nQueued = 0
+			return nil
+		}
+		// Replay wholesale: the connection dies with an unknown amount
+		// delivered; the batch stays intact until acknowledged and the
+		// downstream aggregator discards the replayed prefix.
+		s.dropConn()
+		metSendRetries.Inc()
+		attempts++
+		if s.MaxRetries > 0 && attempts >= s.MaxRetries {
+			return fmt.Errorf("wire: flush through seq %d: receiver unreachable after %d attempts", s.seq, attempts)
+		}
+		time.Sleep(s.RetryInterval)
+	}
+}
+
+func (s *Sender) tryFlush() error {
+	if s.conn == nil {
+		conn, err := net.Dial("tcp", s.addr)
+		if err != nil {
+			return err
+		}
+		if _, err := conn.Write(magicV2[:]); err != nil {
+			conn.Close()
+			return err
+		}
+		s.conn = conn
+	}
+	if _, err := s.conn.Write(s.wbuf); err != nil {
+		return err
+	}
+	var ack [8]byte
+	if err := s.conn.SetReadDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		return err
+	}
+	if _, err := io.ReadFull(s.conn, ack[:]); err != nil {
+		return err
+	}
+	if got := binary.BigEndian.Uint64(ack[:]); got != s.seq {
+		return fmt.Errorf("wire: cumulative ack %d, want %d", got, s.seq)
+	}
+	return nil
 }
 
 func (s *Sender) trySend(f *Frame) error {
@@ -176,17 +445,36 @@ func (s *Sender) dropConn() {
 	}
 }
 
-// Close releases the connection.
+// ResetConn drops the current connection without sending anything, as if
+// the network had failed. The next Send/Flush transparently reconnects
+// (and, on v2, replays the unacknowledged batch). Test hook.
+func (s *Sender) ResetConn() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dropConn()
+}
+
+// Close flushes any pending v2 batch and releases the connection.
 func (s *Sender) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var err error
+	if s.v2 && !s.closed {
+		err = s.flushLocked()
+	}
 	s.closed = true
 	s.dropConn()
-	return nil
+	return err
 }
 
-// Receiver accepts sender connections and delivers de-duplicated frames
-// to a handler, acknowledging each one after the handler returns.
+// Receiver accepts sender connections — v1 and v2 on the same listener,
+// told apart by the "EXW2" connection preamble — and delivers frames to
+// a handler. v1 connections keep the legacy contract: global
+// sequence-number de-duplication, one ack per frame after the handler
+// returns. v2 connections deliver every frame (replays included; the
+// shard/sequence tags let the aggregator de-duplicate) and ack only on
+// FlagAckRequest. Frame payloads are pooled: they are valid only for the
+// duration of the handler call, which must copy anything it retains.
 type Receiver struct {
 	ln      net.Listener
 	handler func(Frame)
@@ -244,8 +532,26 @@ func (r *Receiver) acceptLoop() {
 
 func (r *Receiver) serve(conn net.Conn) {
 	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	// Version negotiation: a v2 connection announces itself with a
+	// 4-byte magic before the first frame; anything else is a legacy v1
+	// stream (whose first header byte is the top of a small uint64
+	// sequence, never 'E').
+	head, err := br.Peek(len(magicV2))
+	if err != nil {
+		return
+	}
+	if bytes.Equal(head, magicV2[:]) {
+		br.Discard(len(magicV2))
+		r.serveV2(br, conn)
+		return
+	}
+	r.serveV1(br, conn)
+}
+
+func (r *Receiver) serveV1(br *bufio.Reader, conn net.Conn) {
 	for {
-		f, err := readFrame(conn)
+		f, err := readFrame(br)
 		if err != nil {
 			return
 		}
@@ -266,10 +572,41 @@ func (r *Receiver) serve(conn net.Conn) {
 		} else {
 			metFramesDuplicate.Inc()
 		}
+		putPayload(f.Payload)
 		var ack [8]byte
 		binary.BigEndian.PutUint64(ack[:], f.Seq)
 		if _, err := conn.Write(ack[:]); err != nil {
 			return
+		}
+	}
+}
+
+func (r *Receiver) serveV2(br *bufio.Reader, conn net.Conn) {
+	var f Frame
+	for {
+		if err := readFrameV2(br, &f); err != nil {
+			return
+		}
+		r.mu.Lock()
+		closed := r.closed
+		r.mu.Unlock()
+		if closed {
+			return
+		}
+		// Deliver everything, replays included: de-duplication belongs
+		// to the aggregator, which tracks a sequence per (shard, count)
+		// — a single receiver-global watermark would wrongly drop frames
+		// when several shards share the listener.
+		metFramesReceived.Inc()
+		r.handler(f)
+		putPayload(f.Payload)
+		f.Payload = nil
+		if f.Flags&FlagAckRequest != 0 {
+			var ack [8]byte
+			binary.BigEndian.PutUint64(ack[:], f.Seq)
+			if _, err := conn.Write(ack[:]); err != nil {
+				return
+			}
 		}
 	}
 }

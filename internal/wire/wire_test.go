@@ -8,7 +8,9 @@ import (
 	"time"
 )
 
-// collector gathers delivered frames.
+// collector gathers delivered frames. Payload buffers are pooled and
+// only valid during the handler call, so the collector copies them —
+// the same contract every real handler follows.
 type collector struct {
 	mu     sync.Mutex
 	frames []Frame
@@ -17,6 +19,7 @@ type collector struct {
 func (c *collector) handle(f Frame) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	f.Payload = append([]byte(nil), f.Payload...)
 	c.frames = append(c.frames, f)
 }
 
@@ -210,5 +213,215 @@ func TestDuplicateFramesSuppressed(t *testing.T) {
 	s.mu.Unlock()
 	if c.len() != 1 {
 		t.Errorf("duplicate frame delivered: %d frames", c.len())
+	}
+}
+
+func TestFrameV2RoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Frame{
+		Seq:        7,
+		Kind:       KindHourEnd,
+		Flags:      FlagAckRequest | FlagFinal,
+		ShardID:    2,
+		ShardCount: 5,
+		HourEpoch:  1617894000,
+		Payload:    []byte("payload"),
+	}
+	buf.Write(appendFrameV2(nil, &in))
+	var out Frame
+	if err := readFrameV2(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Seq != in.Seq || out.Kind != in.Kind || out.Flags != in.Flags ||
+		out.ShardID != in.ShardID || out.ShardCount != in.ShardCount ||
+		out.HourEpoch != in.HourEpoch || string(out.Payload) != "payload" ||
+		out.Version != Version2 {
+		t.Errorf("roundtrip = %+v", out)
+	}
+}
+
+func TestQueueFlushDeliversBatch(t *testing.T) {
+	var c collector
+	r, err := NewReceiver("127.0.0.1:0", c.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	s := NewSenderV2(r.Addr(), 1, 3)
+	defer s.Close()
+	for i := 0; i < 50; i++ {
+		if err := s.Queue(KindSample, 3600, []byte(fmt.Sprintf("ev-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.len() != 0 {
+		t.Fatalf("frames delivered before Flush: %d", c.len())
+	}
+	if err := s.Barrier(3600, false); err != nil {
+		t.Fatal(err)
+	}
+	if c.len() != 51 {
+		t.Fatalf("delivered %d frames, want 51", c.len())
+	}
+	for i := 0; i < 50; i++ {
+		f := c.frame(i)
+		if f.Version != Version2 || f.ShardID != 1 || f.ShardCount != 3 || f.HourEpoch != 3600 {
+			t.Fatalf("frame %d tags = %+v", i, f)
+		}
+		if string(f.Payload) != fmt.Sprintf("ev-%d", i) {
+			t.Fatalf("frame %d payload %q", i, f.Payload)
+		}
+		if f.Seq != uint64(i+1) {
+			t.Fatalf("frame %d seq %d", i, f.Seq)
+		}
+	}
+	last := c.frame(50)
+	if last.Kind != KindHourEnd || last.Flags&FlagAckRequest == 0 || last.Flags&FlagFinal != 0 {
+		t.Fatalf("barrier frame = %+v", last)
+	}
+}
+
+func TestQueueAutoFlushAtThreshold(t *testing.T) {
+	var c collector
+	r, err := NewReceiver("127.0.0.1:0", c.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	s := NewSenderV2(r.Addr(), 0, 1)
+	defer s.Close()
+	// Push well past the coalescing threshold without an explicit Flush.
+	big := make([]byte, 32<<10)
+	for i := 0; i < 8; i++ {
+		if err := s.Queue(KindSample, 0, big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.len() == 0 {
+		t.Fatal("no auto-flush at the coalescing threshold")
+	}
+}
+
+func TestV2ReconnectReplaysBatch(t *testing.T) {
+	var c collector
+	r, err := NewReceiver("127.0.0.1:0", c.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	s := NewSenderV2(r.Addr(), 0, 2)
+	s.RetryInterval = time.Millisecond
+	defer s.Close()
+	if err := s.Queue(KindSample, 3600, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the connection between batches: the next Flush must
+	// transparently reconnect (re-sending the magic) and deliver.
+	s.ResetConn()
+	if err := s.Queue(KindSample, 3600, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if c.len() != 2 {
+		t.Fatalf("delivered %d frames, want 2", c.len())
+	}
+	if string(c.frame(1).Payload) != "b" || c.frame(1).Seq != 2 {
+		t.Fatalf("frame 1 = %+v", c.frame(1))
+	}
+}
+
+func TestV1AndV2ShareListener(t *testing.T) {
+	var c collector
+	r, err := NewReceiver("127.0.0.1:0", c.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	v1 := NewSender(r.Addr())
+	defer v1.Close()
+	v2 := NewSenderV2(r.Addr(), 0, 1)
+	defer v2.Close()
+
+	if err := v1.Send(KindSample, []byte("legacy")); err != nil {
+		t.Fatal(err)
+	}
+	if err := v2.Queue(KindSample, 3600, []byte("binary")); err != nil {
+		t.Fatal(err)
+	}
+	if err := v2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if c.len() != 2 {
+		t.Fatalf("delivered %d frames, want 2", c.len())
+	}
+	if got := c.frame(0); got.Version != 0 || string(got.Payload) != "legacy" {
+		t.Fatalf("v1 frame = %+v", got)
+	}
+	if got := c.frame(1); got.Version != Version2 || string(got.Payload) != "binary" {
+		t.Fatalf("v2 frame = %+v", got)
+	}
+}
+
+func TestSendersMisuse(t *testing.T) {
+	v1 := NewSender("127.0.0.1:1")
+	defer v1.Close()
+	if err := v1.Queue(KindSample, 0, nil); err == nil {
+		t.Error("Queue on a v1 sender should fail")
+	}
+	v2 := NewSenderV2("127.0.0.1:1", 0, 1)
+	defer v2.Close()
+	if err := v2.Send(KindSample, nil); err == nil {
+		t.Error("Send on a v2 sender should fail")
+	}
+}
+
+// TestPooledFramesConcurrent exercises the pooled payload path from
+// several concurrent senders; run with -race it proves a recycled
+// buffer is never shared with a live handler call.
+func TestPooledFramesConcurrent(t *testing.T) {
+	var total sync.WaitGroup
+	var c collector
+	r, err := NewReceiver("127.0.0.1:0", c.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	const senders, frames = 4, 200
+	for i := 0; i < senders; i++ {
+		total.Add(1)
+		go func(shard int) {
+			defer total.Done()
+			s := NewSenderV2(r.Addr(), shard, senders)
+			defer s.Close()
+			for j := 0; j < frames; j++ {
+				if err := s.Queue(KindSample, 3600, []byte(fmt.Sprintf("s%d-f%d", shard, j))); err != nil {
+					t.Error(err)
+					return
+				}
+				if j%50 == 49 {
+					if err := s.Flush(); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+			if err := s.Flush(); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	total.Wait()
+	if c.len() != senders*frames {
+		t.Fatalf("delivered %d frames, want %d", c.len(), senders*frames)
 	}
 }
