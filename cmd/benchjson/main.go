@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"os/exec"
 	"sort"
@@ -177,6 +178,63 @@ func compareBaselines(base, cur map[string]BenchStat, threshold float64) (regs, 
 	return regs, improves, missing
 }
 
+// metricChange is one per-metric value that moved past the threshold in
+// either direction. Metrics have no universal "worse" direction
+// (pkts/sec up is good, scan_recall down is bad), so any move beyond
+// the threshold is flagged for a human to judge.
+type metricChange struct {
+	Name     string // "<benchmark> [<unit>]"
+	Baseline float64
+	Current  float64
+	Delta    float64 // fractional change; +Inf when baseline is 0
+}
+
+// compareMetrics checks every per-metric value of every benchmark the
+// two baselines share. A metric present in the baseline but absent from
+// the current run is reported in missing.
+func compareMetrics(base, cur map[string]BenchStat, threshold float64) (changes []metricChange, missing []string) {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			continue // already reported by the ns/op pass
+		}
+		units := make([]string, 0, len(b.Metrics))
+		for unit := range b.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			bv := b.Metrics[unit]
+			cv, ok := c.Metrics[unit]
+			if !ok {
+				missing = append(missing, name+" ["+unit+"]")
+				continue
+			}
+			mc := metricChange{Name: name + " [" + unit + "]", Baseline: bv, Current: cv}
+			if bv == 0 {
+				if cv != 0 {
+					// No ratio exists for a zero baseline; any movement off
+					// zero is a change (e.g. injected_false_fed leaving 0).
+					mc.Delta = math.Inf(1)
+					changes = append(changes, mc)
+				}
+				continue
+			}
+			mc.Delta = (cv - bv) / bv
+			if mc.Delta > threshold || mc.Delta < -threshold {
+				changes = append(changes, mc)
+			}
+		}
+	}
+	return changes, missing
+}
+
 func runCmd(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	bench := fs.String("bench", ".", "go test -bench regexp")
@@ -243,6 +301,7 @@ func compareCmd(args []string) error {
 	curPath := fs.String("current", "", "freshly captured JSON")
 	threshold := fs.Float64("threshold", 0.10, "fractional ns/op regression tolerated")
 	warnOnly := fs.Bool("warn-only", false, "report regressions without failing (shared-runner mode)")
+	withMetrics := fs.Bool("metrics", false, "also flag per-metric values (B/op, custom units) that move past the threshold in either direction")
 	fs.Parse(args)
 	if *basePath == "" || *curPath == "" {
 		return fmt.Errorf("benchjson compare: -baseline and -current are required")
@@ -267,15 +326,35 @@ func compareCmd(args []string) error {
 		fmt.Printf("REGRESSED %-40s %12.0f -> %12.0f ns/op (%+.1f%%, threshold %.0f%%)\n",
 			r.Name, r.Baseline, r.Current, 100*r.Delta, 100**threshold)
 	}
-	if len(regs) == 0 && len(missing) == 0 {
+	var changes []metricChange
+	if *withMetrics {
+		var missingMetrics []string
+		changes, missingMetrics = compareMetrics(base.Benchmarks, cur.Benchmarks, *threshold)
+		for _, name := range missingMetrics {
+			fmt.Printf("MISSING   %-40s metric present in baseline, absent in current run\n", name)
+		}
+		missing = append(missing, missingMetrics...)
+		for _, c := range changes {
+			if math.IsInf(c.Delta, 1) {
+				fmt.Printf("CHANGED   %-40s %12g -> %12g (moved off a zero baseline)\n",
+					c.Name, c.Baseline, c.Current)
+				continue
+			}
+			fmt.Printf("CHANGED   %-40s %12g -> %12g (%+.1f%%, threshold %.0f%%)\n",
+				c.Name, c.Baseline, c.Current, 100*c.Delta, 100**threshold)
+		}
+	}
+	if len(regs) == 0 && len(missing) == 0 && len(changes) == 0 {
 		fmt.Printf("OK: %d benchmarks within %.0f%% of baseline\n", len(base.Benchmarks), 100**threshold)
 		return nil
 	}
 	if *warnOnly {
-		fmt.Printf("WARN: %d regression(s), %d missing (warn-only mode, not failing)\n", len(regs), len(missing))
+		fmt.Printf("WARN: %d regression(s), %d metric change(s), %d missing (warn-only mode, not failing)\n",
+			len(regs), len(changes), len(missing))
 		return nil
 	}
-	return fmt.Errorf("benchjson: %d regression(s), %d missing benchmark(s)", len(regs), len(missing))
+	return fmt.Errorf("benchjson: %d regression(s), %d metric change(s), %d missing",
+		len(regs), len(changes), len(missing))
 }
 
 func main() {

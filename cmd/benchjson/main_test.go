@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -125,6 +126,48 @@ func TestCompareBaselines(t *testing.T) {
 		map[string]BenchStat{"X": {NsPerOp: 110}}, 0.10)
 	if len(regs) != 0 {
 		t.Errorf("delta == threshold flagged as regression: %+v", regs)
+	}
+}
+
+func TestCompareMetrics(t *testing.T) {
+	base := map[string]BenchStat{
+		"A": {NsPerOp: 100, Metrics: map[string]float64{
+			"scan_recall":        0.8,
+			"injected_false_fed": 0,
+			"pkts/sec":           1000,
+			"records":            50,
+		}},
+		"B": {NsPerOp: 100, Metrics: map[string]float64{"gone": 1}},
+	}
+	cur := map[string]BenchStat{
+		"A": {NsPerOp: 100, Metrics: map[string]float64{
+			"scan_recall":        0.4,  // halved: flagged
+			"injected_false_fed": 3,    // moved off zero: flagged
+			"pkts/sec":           1050, // +5%: within threshold
+			"records":            50,   // unchanged
+		}},
+		"B": {NsPerOp: 100, Metrics: map[string]float64{}},
+	}
+	changes, missing := compareMetrics(base, cur, 0.10)
+	if len(changes) != 2 {
+		t.Fatalf("changes = %+v, want scan_recall and injected_false_fed", changes)
+	}
+	if changes[0].Name != "A [injected_false_fed]" || !math.IsInf(changes[0].Delta, 1) {
+		t.Errorf("zero-baseline change = %+v, want +Inf delta", changes[0])
+	}
+	if changes[1].Name != "A [scan_recall]" || changes[1].Delta != -0.5 {
+		t.Errorf("scan_recall change = %+v, want -0.5 delta", changes[1])
+	}
+	if len(missing) != 1 || missing[0] != "B [gone]" {
+		t.Errorf("missing = %v, want [B [gone]]", missing)
+	}
+
+	// Both baselines zero: no change.
+	changes, _ = compareMetrics(
+		map[string]BenchStat{"Z": {Metrics: map[string]float64{"m": 0}}},
+		map[string]BenchStat{"Z": {Metrics: map[string]float64{"m": 0}}}, 0.10)
+	if len(changes) != 0 {
+		t.Errorf("zero->zero flagged: %+v", changes)
 	}
 }
 

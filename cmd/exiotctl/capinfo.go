@@ -1,0 +1,131 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"exiot/internal/packet"
+	"exiot/internal/pcapio"
+)
+
+// runCapinfo summarises a telescope capture offline (no server needed):
+// packet count, recorded time span, per-protocol breakdown, and the top
+// destination ports. Both plain and gzip-compressed captures work; a
+// torn tail (interrupted capture) downgrades to a warning plus the
+// stats of everything readable before the tear.
+func runCapinfo(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("capinfo", flag.ExitOnError)
+	top := fs.Int("top", 10, "destination ports to list")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: exiotctl capinfo [-top N] <capture.pcap[.gz]>")
+	}
+	path := fs.Arg(0)
+	hr, err := pcapio.OpenCapture(path)
+	if err != nil {
+		return err
+	}
+	defer hr.Close()
+
+	type portKey struct {
+		proto packet.Protocol
+		port  uint16
+	}
+	var (
+		count       int
+		bytes       int64
+		first, last time.Time
+		protos      = map[packet.Protocol]int{}
+		ports       = map[portKey]int{}
+		torn        error
+	)
+	var p packet.Packet
+	for {
+		err := hr.Next(&p)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				torn = err
+				break
+			}
+			return err
+		}
+		count++
+		bytes += int64(p.TotalLength)
+		if first.IsZero() || p.Timestamp.Before(first) {
+			first = p.Timestamp
+		}
+		if p.Timestamp.After(last) {
+			last = p.Timestamp
+		}
+		protos[p.Proto]++
+		if p.Proto == packet.TCP || p.Proto == packet.UDP {
+			ports[portKey{p.Proto, p.DstPort}]++
+		}
+	}
+	if torn != nil {
+		fmt.Fprintf(out, "warning: %v\n", torn)
+		fmt.Fprintf(out, "warning: stats cover the %d intact packet(s) before the tear\n", count)
+	}
+
+	fmt.Fprintf(out, "capture %s\n", path)
+	fmt.Fprintf(out, "  packets: %d (%d IP bytes)\n", count, bytes)
+	if count > 0 {
+		fmt.Fprintf(out, "  span:    %s .. %s (%s)\n",
+			first.Format(time.RFC3339Nano), last.Format(time.RFC3339Nano),
+			last.Sub(first).Round(time.Millisecond))
+	}
+
+	type protoRow struct {
+		proto packet.Protocol
+		n     int
+	}
+	var prows []protoRow
+	for proto, n := range protos {
+		prows = append(prows, protoRow{proto, n})
+	}
+	sort.Slice(prows, func(i, j int) bool {
+		if prows[i].n != prows[j].n {
+			return prows[i].n > prows[j].n
+		}
+		return prows[i].proto < prows[j].proto
+	})
+	fmt.Fprintf(out, "  protocols:\n")
+	for _, r := range prows {
+		fmt.Fprintf(out, "    %-5s %8d  %5.1f%%\n", r.proto, r.n, 100*float64(r.n)/float64(count))
+	}
+
+	type portRow struct {
+		key portKey
+		n   int
+	}
+	var rows []portRow
+	for k, n := range ports {
+		rows = append(rows, portRow{k, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		if rows[i].key.port != rows[j].key.port {
+			return rows[i].key.port < rows[j].key.port
+		}
+		return rows[i].key.proto < rows[j].key.proto
+	})
+	if len(rows) > *top {
+		rows = rows[:*top]
+	}
+	fmt.Fprintf(out, "  top destination ports:\n")
+	for _, r := range rows {
+		fmt.Fprintf(out, "    %5d/%-4s %8d\n", r.key.port, r.key.proto, r.n)
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"exiot/internal/packet"
+	"exiot/internal/pcapio"
+)
+
+// writeCapture writes a small plain-pcap capture: 6 TCP/23, 3 UDP/5683,
+// and 1 ICMP packet, one second apart.
+func writeCapture(t *testing.T, path string) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w, err := pcapio.NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2026, 8, 9, 14, 0, 0, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		p := packet.Packet{
+			Timestamp:   base.Add(time.Duration(i) * time.Second),
+			TotalLength: 40,
+			TTL:         64,
+			SrcIP:       packet.MakeIP(192, 0, 2, byte(i+1)),
+			DstIP:       packet.MakeIP(198, 51, 100, 1),
+		}
+		switch {
+		case i < 6:
+			p.Proto, p.DstPort, p.Flags = packet.TCP, 23, packet.FlagSYN
+			p.DataOffset = 5
+		case i < 9:
+			p.Proto, p.DstPort = packet.UDP, 5683
+		default:
+			p.Proto = packet.ICMP
+		}
+		if err := w.WritePacket(&p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapinfo(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cap.pcap")
+	writeCapture(t, path)
+
+	var out bytes.Buffer
+	if err := runCapinfo([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"packets: 10 (400 IP bytes)",
+		"2026-08-09T14:00:00Z .. 2026-08-09T14:00:09Z (9s)",
+		"TCP", "UDP", "ICMP",
+		"23/TCP",
+		"5683/UDP",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	// TCP leads the protocol breakdown (6 of 10 packets).
+	if !strings.Contains(got, "60.0%") {
+		t.Errorf("missing TCP 60.0%% share:\n%s", got)
+	}
+}
+
+func TestCapinfoTop(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cap.pcap")
+	writeCapture(t, path)
+
+	var out bytes.Buffer
+	if err := runCapinfo([]string{"-top", "1", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "23/TCP") {
+		t.Errorf("-top 1 dropped the busiest port:\n%s", got)
+	}
+	if strings.Contains(got, "5683/UDP") {
+		t.Errorf("-top 1 kept a second port:\n%s", got)
+	}
+}
+
+func TestCapinfoTornCapture(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cap.pcap")
+	writeCapture(t, path)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear mid-way through the last record.
+	if err := os.WriteFile(path, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := runCapinfo([]string{path}, &out); err != nil {
+		t.Fatalf("torn capture should degrade to a warning, got %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "warning:") || !strings.Contains(got, "torn") {
+		t.Errorf("missing torn-tail warning:\n%s", got)
+	}
+	if !strings.Contains(got, "packets: 9") {
+		t.Errorf("missing partial stats over the 9 intact packets:\n%s", got)
+	}
+}
+
+func TestCapinfoErrors(t *testing.T) {
+	if err := runCapinfo([]string{filepath.Join(t.TempDir(), "missing.pcap")}, &bytes.Buffer{}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := runCapinfo(nil, &bytes.Buffer{}); err == nil {
+		t.Error("missing argument accepted")
+	}
+}

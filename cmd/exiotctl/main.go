@@ -11,11 +11,13 @@
 //	exiotctl export > feed.ndjson
 //	exiotctl alert -prefix 198.51.100.0/24 -email soc@example.org
 //
-// The state subcommand works offline against a feed server's durable
-// state directory (no server or key needed):
+// The state and capinfo subcommands work offline (no server or key
+// needed): state against a feed server's durable state directory,
+// capinfo against a telescope capture file:
 //
 //	exiotctl state -dir /var/lib/exiot/state inspect
 //	exiotctl state -dir /var/lib/exiot/state verify
+//	exiotctl capinfo telescope-20260809-14.pcap.gz
 package main
 
 import (
@@ -42,7 +44,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: exiotctl [flags] snapshot|records|record <ip>|trace <ip>|stats <kind>|campaigns|export|alert|state")
+		fmt.Fprintln(os.Stderr, "usage: exiotctl [flags] snapshot|records|record <ip>|trace <ip>|stats <kind>|campaigns|export|alert|capinfo <file>|state")
 		os.Exit(2)
 	}
 	if err := run(*server, *key, flag.Args()); err != nil {
@@ -112,6 +114,8 @@ func run(server, key string, args []string) error {
 			return err
 		}
 		return c.post("/api/v1/alerts", body)
+	case "capinfo":
+		return runCapinfo(args[1:], os.Stdout)
 	case "state":
 		return runState(args[1:])
 	default:

@@ -11,6 +11,10 @@
 //
 //	exiotd -simulate -hours 24 -api 127.0.0.1:8080 -seed 42
 //
+// Capture replay (hourly directory or single file, optional time-warp):
+//
+//	exiotd -replay captures/ -replay-warp 0 -api 127.0.0.1:8080 -seed 42
+//
 // In split mode the world is rebuilt from the same seed and population
 // flags used by telescopegen so active probes are answered by the same
 // simulated Internet that produced the captures (in a real deployment the
@@ -18,8 +22,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"time"
@@ -28,7 +34,9 @@ import (
 	"exiot/internal/durable"
 	"exiot/internal/feedserve"
 	"exiot/internal/notify"
+	"exiot/internal/packet"
 	"exiot/internal/pipeline"
+	"exiot/internal/replay"
 	"exiot/internal/simnet"
 	"exiot/internal/telemetry"
 	"exiot/internal/trace"
@@ -37,13 +45,15 @@ import (
 
 func main() {
 	var (
-		listen   = flag.String("listen", "127.0.0.1:9410", "wire address to receive sampler events on")
-		shards   = flag.Int("shards", 0, "expected ingest shard count for the cluster merge (flowsampler -shard i/N); 0 = single-node v1")
-		apiAddr  = flag.String("api", "127.0.0.1:8080", "REST API listen address")
-		apiKey   = flag.String("key", "dev-key", "API key to provision")
-		simulate = flag.Bool("simulate", false, "run a self-contained simulation instead of receiving")
-		hours    = flag.Int("hours", 24, "simulated hours with -simulate")
-		seed     = flag.Int64("seed", 42, "world seed (must match telescopegen in split mode)")
+		listen    = flag.String("listen", "127.0.0.1:9410", "wire address to receive sampler events on")
+		shards    = flag.Int("shards", 0, "expected ingest shard count for the cluster merge (flowsampler -shard i/N); 0 = single-node v1")
+		apiAddr   = flag.String("api", "127.0.0.1:8080", "REST API listen address")
+		apiKey    = flag.String("key", "dev-key", "API key to provision")
+		simulate  = flag.Bool("simulate", false, "run a self-contained simulation instead of receiving")
+		replayIn  = flag.String("replay", "", "replay a recorded capture (hourly directory or single .pcap/.pcap.gz file) instead of receiving or simulating")
+		replayWrp = flag.Float64("replay-warp", 0, "replay time-warp factor: 0 = as fast as possible, 1 = recorded speed, N = N× speed-up")
+		hours     = flag.Int("hours", 24, "simulated hours with -simulate")
+		seed      = flag.Int64("seed", 42, "world seed (must match telescopegen in split mode)")
 
 		infected  = flag.Int("infected", 300, "infected IoT devices (world rebuild)")
 		nonIoT    = flag.Int("noniot", 60, "non-IoT scanning hosts (world rebuild)")
@@ -74,10 +84,20 @@ func main() {
 		SnapshotEvery: *stateSnap,
 	}
 	fcfg := feedCacheConfig{enabled: *feedCache, rebuildEvery: *feedRebuild}
+	if *simulate && *replayIn != "" {
+		log.Fatal("-simulate and -replay are mutually exclusive")
+	}
+	rcfg := replayConfig{path: *replayIn, warp: *replayWrp}
 	if err := run(*listen, *shards, *apiAddr, *apiKey, *simulate, *hours, *seed,
-		*infected, *nonIoT, *research, *misconfig, *backscat, *whois, *modelDir, *workers, *telAddr, dcfg, fcfg); err != nil {
+		*infected, *nonIoT, *research, *misconfig, *backscat, *whois, *modelDir, *workers, *telAddr, dcfg, fcfg, rcfg); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// replayConfig carries the -replay / -replay-warp flags.
+type replayConfig struct {
+	path string
+	warp float64
 }
 
 // feedCacheConfig carries the -feed-cache / -feed-rebuild-every flags.
@@ -88,7 +108,7 @@ type feedCacheConfig struct {
 
 func run(listen string, shards int, apiAddr, apiKey string, simulate bool, hours int, seed int64,
 	infected, nonIoT, research, misconfig, backscat int, whois bool, modelDir string, workers int, telAddr string,
-	dcfg pipeline.DurableConfig, fcfg feedCacheConfig) error {
+	dcfg pipeline.DurableConfig, fcfg feedCacheConfig, rcfg replayConfig) error {
 	if telAddr != "" {
 		// The operator mux is separate from the public API: it carries
 		// pprof and needs no key. The API's own /metrics and /healthz stay
@@ -125,7 +145,51 @@ func run(listen string, shards int, apiAddr, apiKey string, simulate bool, hours
 	pcfg.Server.Trainer.ModelDir = modelDir
 
 	var source *pipeline.Server
-	if simulate {
+	if rcfg.path != "" {
+		// Replay mode: ingest a recorded capture through the same Local
+		// pipeline -simulate drives, at the configured time-warp. The
+		// world is rebuilt from the shared seed only so active probes are
+		// answered (split-mode convention); the packets come entirely
+		// from the capture.
+		pcfg.Durable = dcfg
+		local, err := pipeline.NewDurableLocal(pcfg, w, w.Registry(), mailer)
+		if err != nil {
+			return fmt.Errorf("open state dir: %w", err)
+		}
+		start := time.Now()
+		rep := replay.New(replay.Config{
+			Warp: rcfg.warp,
+			Emit: func(pkts []packet.Packet, hour time.Time) error {
+				local.ProcessHour(pkts, hour)
+				return nil
+			},
+		})
+		err = rep.Replay(rcfg.path)
+		switch {
+		case err == nil:
+		case errors.Is(err, io.ErrUnexpectedEOF):
+			// A torn capture already emitted everything before the tear;
+			// serve the partial feed and tell the operator (exiotctl
+			// capinfo triages the damaged file).
+			fmt.Printf("warning: %v\n", err)
+		default:
+			return err
+		}
+		if rep.Hours() == 0 {
+			return fmt.Errorf("replay %s: no capture hours ingested", rcfg.path)
+		}
+		local.Finish(rep.End())
+		if err := local.Close(); err != nil {
+			return fmt.Errorf("close state dir: %w", err)
+		}
+		c := local.Server().Counters()
+		fmt.Printf("replayed %d h (%d packets) in %v: %d records, %d banner labels, %d retrains, %d emails\n",
+			rep.Hours(), rep.Packets(), time.Since(start).Round(time.Millisecond),
+			c.RecordsCreated, c.BannersLabeled, c.ModelRetrains, c.EmailsSent)
+		fmt.Print(telemetry.Default().StageSummary())
+		telemetry.DefaultHealth().Freeze()
+		source = local.Server()
+	} else if simulate {
 		pcfg.Durable = dcfg
 		local, err := pipeline.NewDurableLocal(pcfg, w, w.Registry(), mailer)
 		if err != nil {

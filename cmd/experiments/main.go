@@ -22,19 +22,20 @@ import (
 
 func main() {
 	var (
-		runList = flag.String("run", "all", "comma-separated experiments: tableI,tableII,tableIII,tableIV,tableV,latency,accuracy,validation,models,throughput,banners,campaigns,adaptivity,importance,ablations")
+		runList = flag.String("run", "all", "comma-separated experiments: tableI,tableII,tableIII,tableIV,tableV,latency,accuracy,validation,models,throughput,banners,campaigns,adaptivity,importance,ablations,scenarios")
 		scale   = flag.String("scale", "default", "quick | default")
 		seed    = flag.Int64("seed", 42, "simulation seed")
 		mdOut   = flag.String("md", "", "also write a Markdown report to this path")
 		workers = flag.Int("workers", 0, "worker count for generation, detection, and feed classification (0 = GOMAXPROCS, 1 = serial)")
+		scnOut  = flag.String("scenarios-out", "BENCH_scenarios.json", "benchjson baseline written by the scenarios experiment (empty disables)")
 	)
 	flag.Parse()
-	if err := run(*runList, *scale, *seed, *mdOut, *workers); err != nil {
+	if err := run(*runList, *scale, *seed, *mdOut, *workers, *scnOut); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(runList, scaleName string, seed int64, mdOut string, workers int) error {
+func run(runList, scaleName string, seed int64, mdOut string, workers int, scnOut string) error {
 	var sc experiments.Scale
 	switch scaleName {
 	case "quick":
@@ -136,6 +137,20 @@ func run(runList, scaleName string, seed int64, mdOut string, workers int) error
 	}
 	if pick("banners") {
 		emit("Banner availability", experiments.BannerAvailability(sc).String())
+	}
+	if pick("scenarios") {
+		rep := experiments.Scenarios(seed, workers)
+		emit("Adversarial scenario suite", rep.String())
+		if scnOut != "" {
+			data, err := rep.BaselineJSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(scnOut, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", scnOut)
+		}
 	}
 	if pick("ablations") {
 		emit("Ablation: TRW", experiments.AblationTRW(sc).String())

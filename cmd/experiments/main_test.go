@@ -36,11 +36,37 @@ func TestWriteMarkdown(t *testing.T) {
 
 func TestRunStaticTablesOnly(t *testing.T) {
 	// The static tables need no environment and should run instantly.
-	if err := run("tableI,tableII", "quick", 1, "", 2); err != nil {
+	if err := run("tableI,tableII", "quick", 1, "", 2, ""); err != nil {
 		t.Fatal(err)
 	}
 	// Unknown scale is rejected.
-	if err := run("tableI", "galactic", 1, "", 0); err == nil {
+	if err := run("tableI", "galactic", 1, "", 0, ""); err == nil {
 		t.Error("unknown scale accepted")
+	}
+}
+
+func TestRunScenariosWritesBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-span scenario suite")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_scenarios.json")
+	if err := run("scenarios", "quick", 42, "", 1, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"Scenario/stealth-subthreshold"`,
+		`"Scenario/botnet-growth-wave"`,
+		`"Scenario/backscatter-storm"`,
+		`"Scenario/diurnal-cycle"`,
+		`"scan_precision"`,
+		`"injected_recall"`,
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("baseline missing %s", want)
+		}
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"exiot/internal/packet"
 	"exiot/internal/pcapio"
 	"exiot/internal/pipeline"
+	"exiot/internal/replay"
 	"exiot/internal/telemetry"
 	"exiot/internal/trace"
 	"exiot/internal/trw"
@@ -40,6 +41,8 @@ func main() {
 	var (
 		in         = flag.String("in", "captures", "directory of hourly pcap.gz captures")
 		connect    = flag.String("connect", "127.0.0.1:9410", "feed-server wire address")
+		replayMode = flag.Bool("replay", false, "replay -in through the time-warp engine (single pass; gap hours filled; -in may also name a single capture file)")
+		replayWarp = flag.Float64("replay-warp", 0, "replay time-warp factor with -replay: 0 = as fast as possible, 1 = recorded speed, N = N× speed-up")
 		follow     = flag.Bool("follow", false, "keep polling for newly published hours")
 		pollEvery  = flag.Duration("poll", 5*time.Second, "poll interval with -follow")
 		threshold  = flag.Int("threshold", 100, "TRW detection threshold (packets)")
@@ -60,6 +63,8 @@ func main() {
 	cfg := runConfig{
 		in:         *in,
 		connect:    *connect,
+		replay:     *replayMode,
+		replayWarp: *replayWarp,
 		follow:     *follow,
 		pollEvery:  *pollEvery,
 		threshold:  *threshold,
@@ -67,6 +72,9 @@ func main() {
 		workers:    *workers,
 		shardID:    shardID,
 		shardCount: shardCount,
+	}
+	if cfg.replay && cfg.follow {
+		log.Fatal("-replay and -follow are mutually exclusive: replay is a single pass over the capture set")
 	}
 	if err := run(cfg); err != nil {
 		log.Fatal(err)
@@ -95,6 +103,8 @@ func parseShard(s string) (id, count int, err error) {
 // shardID of shardCount and speaks v2.
 type runConfig struct {
 	in, connect                    string
+	replay                         bool
+	replayWarp                     float64
 	follow                         bool
 	pollEvery                      time.Duration
 	threshold, sampleSize, workers int
@@ -157,6 +167,72 @@ func run(cfg runConfig) error {
 			trace.Default().Finish(e.Trace)
 		}
 	})
+
+	if cfg.replay {
+		// Replay mode: the time-warp engine reads the capture set (a
+		// directory of hourly files or one multi-hour capture), fills gap
+		// hours, and hands each hour here — the same shard filter, hour
+		// barrier, and epoch convention as the polling path, so a replayed
+		// cluster merges identically to a live one.
+		var mine []packet.Packet
+		rep := replay.New(replay.Config{
+			Warp: cfg.replayWarp,
+			Emit: func(pkts []packet.Packet, hour time.Time) error {
+				curEpoch = hour.Add(time.Hour).Unix()
+				use := pkts
+				if sharded {
+					mine = mine[:0]
+					for i := range pkts {
+						if trw.ShardIndex(pkts[i].SrcIP, cfg.shardCount) == cfg.shardID {
+							mine = append(mine, pkts[i])
+						}
+					}
+					use = mine
+				}
+				sampler.ProcessHour(use, hour.Add(time.Hour))
+				if sharded {
+					if err := sender.Barrier(curEpoch, false); err != nil {
+						sendErr = err
+					}
+				}
+				if sendErr != nil {
+					return fmt.Errorf("ship events: %w", sendErr)
+				}
+				st := sampler.DetectorStats()
+				fmt.Printf("%s replayed: %d packets total, %d scanners, %d samples\n",
+					hour.Format("2006-01-02T15"), st.Processed, st.ScannersFound, st.SamplesEmitted)
+				return nil
+			},
+		})
+		err := rep.Replay(cfg.in)
+		switch {
+		case err == nil:
+		case errors.Is(err, io.ErrUnexpectedEOF):
+			// The hours before the tear already shipped; close out the run
+			// on what the damaged capture could prove.
+			fmt.Printf("warning: %v\n", err)
+		default:
+			return err
+		}
+		if rep.Hours() == 0 {
+			return fmt.Errorf("no capture hours replayed from %s", cfg.in)
+		}
+		flushAt := rep.End()
+		curEpoch = flushAt.Add(time.Hour).Unix()
+		sampler.Flush(flushAt)
+		if sharded && sendErr == nil {
+			if err := sender.Barrier(curEpoch, true); err != nil {
+				sendErr = err
+			}
+		}
+		if sendErr != nil {
+			return fmt.Errorf("ship events: %w", sendErr)
+		}
+		if summary := telemetry.Default().StageSummary(); summary != "" {
+			fmt.Print(summary)
+		}
+		return nil
+	}
 
 	processed := map[time.Time]bool{}
 	for {

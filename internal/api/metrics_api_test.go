@@ -22,6 +22,7 @@ import (
 	// family must exist before /metrics is scraped, exactly as in exiotd.
 	_ "exiot/internal/pcapio"
 	_ "exiot/internal/pipeline"
+	_ "exiot/internal/replay"
 	_ "exiot/internal/simnet"
 	_ "exiot/internal/wire"
 )

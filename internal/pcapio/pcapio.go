@@ -51,7 +51,16 @@ var (
 )
 
 const (
-	magicNumber  = 0xa1b2c3d4
+	// magicMicros is the classic libpcap magic: record timestamps carry
+	// microsecond fractions. Captures from external collectors use it.
+	magicMicros = 0xa1b2c3d4
+	// magicNanos is the nanosecond-resolution pcap magic (as written by
+	// tcpdump --time-stamp-precision=nano). The Writer emits it so a
+	// capture→replay round trip preserves timestamps exactly: simulated
+	// packets carry nanosecond stamps, and truncating them to
+	// microseconds would shift the detector's canonical event order,
+	// breaking replay/live feed byte-identity.
+	magicNanos   = 0xa1b23c4d
 	versionMajor = 2
 	versionMinor = 4
 	snapLen      = 65535
@@ -75,7 +84,7 @@ func NewWriter(w io.Writer) (*Writer, error) {
 
 func newWriterBuf(bw *bufio.Writer) (*Writer, error) {
 	var hdr [24]byte
-	binary.LittleEndian.PutUint32(hdr[0:], magicNumber)
+	binary.LittleEndian.PutUint32(hdr[0:], magicNanos)
 	binary.LittleEndian.PutUint16(hdr[4:], versionMajor)
 	binary.LittleEndian.PutUint16(hdr[6:], versionMinor)
 	// thiszone and sigfigs stay zero.
@@ -95,7 +104,7 @@ func (w *Writer) WritePacket(p *packet.Packet) error {
 	var rec [16]byte
 	ts := p.Timestamp
 	binary.LittleEndian.PutUint32(rec[0:], uint32(ts.Unix()))
-	binary.LittleEndian.PutUint32(rec[4:], uint32(ts.Nanosecond()/1000))
+	binary.LittleEndian.PutUint32(rec[4:], uint32(ts.Nanosecond()))
 	binary.LittleEndian.PutUint32(rec[8:], uint32(len(w.scratch)))
 	origLen := uint32(p.TotalLength)
 	if origLen < uint32(len(w.scratch)) {
@@ -123,6 +132,12 @@ func (w *Writer) Flush() error { return w.w.Flush() }
 type Reader struct {
 	r       *bufio.Reader
 	scratch []byte
+	// fracMul scales the record timestamp fraction field to nanoseconds:
+	// 1000 for classic microsecond captures, 1 for nanosecond captures.
+	fracMul int64
+	// index counts records already returned; torn-record errors carry it
+	// so an operator knows how much of a damaged capture is usable.
+	index int
 }
 
 // NewReader validates the pcap global header and returns a Reader.
@@ -135,41 +150,66 @@ func newReaderBuf(br *bufio.Reader) (*Reader, error) {
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("pcap header: %w", err)
 	}
-	if binary.LittleEndian.Uint32(hdr[0:]) != magicNumber {
+	var fracMul int64
+	switch binary.LittleEndian.Uint32(hdr[0:]) {
+	case magicMicros:
+		fracMul = 1000
+	case magicNanos:
+		fracMul = 1
+	default:
 		return nil, ErrNotPcap
 	}
 	if lt := binary.LittleEndian.Uint32(hdr[20:]); lt != linkTypeRaw {
 		return nil, fmt.Errorf("pcapio: unsupported link type %d", lt)
 	}
-	return &Reader{r: br, scratch: make([]byte, 0, 128)}, nil
+	return &Reader{r: br, scratch: make([]byte, 0, 128), fracMul: fracMul}, nil
 }
 
-// Next reads the next packet. It returns io.EOF at end of stream.
+// Index returns the number of packets successfully read so far.
+func (r *Reader) Index() int { return r.index }
+
+// torn maps an EOF hit mid-record onto a clean io.ErrUnexpectedEOF-wrapped
+// error carrying the packet index, so callers can both detect truncation
+// (errors.Is) and report how many whole packets preceded the tear. Real
+// I/O errors pass through wrapped but without the truncation veneer.
+func (r *Reader) torn(what string, err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("pcapio: truncated capture: packet record %d torn (%s): %w",
+			r.index, what, io.ErrUnexpectedEOF)
+	}
+	return fmt.Errorf("pcapio: packet record %d %s: %w", r.index, what, err)
+}
+
+// Next reads the next packet. It returns io.EOF at a clean end of stream;
+// a capture cut mid-record (a torn tail) returns an error wrapping
+// io.ErrUnexpectedEOF that names the torn record's index — never a
+// garbage packet.
 func (r *Reader) Next(p *packet.Packet) error {
 	var rec [16]byte
 	if _, err := io.ReadFull(r.r, rec[:]); err != nil {
-		if errors.Is(err, io.EOF) {
-			return io.EOF
+		if err == io.EOF {
+			return io.EOF // clean end: no bytes of a next record
 		}
-		return fmt.Errorf("pcap record header: %w", err)
+		return r.torn("header", err)
 	}
 	sec := binary.LittleEndian.Uint32(rec[0:])
-	usec := binary.LittleEndian.Uint32(rec[4:])
+	frac := binary.LittleEndian.Uint32(rec[4:])
 	inclLen := binary.LittleEndian.Uint32(rec[8:])
 	if inclLen > snapLen {
-		return fmt.Errorf("pcapio: record length %d exceeds snaplen", inclLen)
+		return fmt.Errorf("pcapio: packet record %d: length %d exceeds snaplen", r.index, inclLen)
 	}
 	if cap(r.scratch) < int(inclLen) {
 		r.scratch = make([]byte, inclLen)
 	}
 	buf := r.scratch[:inclLen]
 	if _, err := io.ReadFull(r.r, buf); err != nil {
-		return fmt.Errorf("pcap record body: %w", err)
+		return r.torn("body", err)
 	}
 	if _, err := p.Unmarshal(buf); err != nil {
-		return err
+		return fmt.Errorf("pcapio: packet record %d: %w", r.index, err)
 	}
-	p.Timestamp = time.Unix(int64(sec), int64(usec)*1000).UTC()
+	p.Timestamp = time.Unix(int64(sec), int64(frac)*r.fracMul).UTC()
+	r.index++
 	metPacketsRead.Inc()
 	return nil
 }
@@ -256,7 +296,8 @@ func OpenHour(dir string, hour time.Time) (*HourReader, error) {
 	return OpenFile(filepath.Join(dir, HourFileName(hour)))
 }
 
-// HourReader reads one gzip-compressed hourly capture file.
+// HourReader reads one capture file, gzip-compressed or plain
+// (gz is nil for uncompressed captures opened via OpenCapture).
 type HourReader struct {
 	f  *os.File
 	gz *gzip.Reader
@@ -289,14 +330,62 @@ func OpenFile(path string) (*HourReader, error) {
 	return &HourReader{f: f, gz: gz, Reader: r}, nil
 }
 
+// OpenCapture opens a capture file by path, accepting both plain .pcap
+// and gzip-compressed .pcap.gz files — the compression is sniffed from
+// the leading magic bytes, not the file name, so renamed or externally
+// produced captures work too.
+func OpenCapture(path string) (*HourReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("open capture: %w", err)
+	}
+	br := bufReaderPool.Get().(*bufio.Reader)
+	br.Reset(f)
+	magic, err := br.Peek(2)
+	if err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		// Gzip container: insert the decompressor between file and buffer.
+		gz := gzReaderPool.Get().(*gzip.Reader)
+		if err := gz.Reset(br); err != nil {
+			gzReaderPool.Put(gz)
+			br.Reset(nil)
+			bufReaderPool.Put(br)
+			f.Close()
+			return nil, fmt.Errorf("open gzip: %w", err)
+		}
+		r, err := NewReader(gz)
+		if err != nil {
+			gz.Close()
+			gzReaderPool.Put(gz)
+			br.Reset(nil)
+			bufReaderPool.Put(br)
+			f.Close()
+			return nil, err
+		}
+		metHoursOpened.Inc()
+		return &HourReader{f: f, gz: gz, Reader: r}, nil
+	}
+	r, err := newReaderBuf(br)
+	if err != nil {
+		br.Reset(nil)
+		bufReaderPool.Put(br)
+		f.Close()
+		return nil, err
+	}
+	metHoursOpened.Inc()
+	return &HourReader{f: f, Reader: r}, nil
+}
+
 // Close closes the capture file and recycles the stream buffers.
 func (hr *HourReader) Close() error {
-	gzErr := hr.gz.Close()
+	var gzErr error
+	if hr.gz != nil {
+		gzErr = hr.gz.Close()
+		if gzErr == nil {
+			gzReaderPool.Put(hr.gz)
+		}
+	}
 	hr.Reader.r.Reset(nil)
 	bufReaderPool.Put(hr.Reader.r)
-	if gzErr == nil {
-		gzReaderPool.Put(hr.gz)
-	}
 	if err := hr.f.Close(); err != nil {
 		return err
 	}

@@ -1,0 +1,129 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// testHours shortens each scenario's span so the determinism matrix
+// (every scenario × two runs × two worker counts) stays test-sized
+// while still crossing hour boundaries, gap expiries, and (for the
+// diurnal cycle) a full on/off/on transition.
+func testHours(sc Scenario) int {
+	if sc.Hours > 26 {
+		return 26
+	}
+	if sc.Hours > 7 {
+		return 7
+	}
+	return sc.Hours
+}
+
+// stripTiming zeroes the wall-clock field so Results compare by content.
+func stripTiming(r Result) Result {
+	r.ElapsedNs = 0
+	return r
+}
+
+// TestScenarioDeterminism replays every scenario twice from the same
+// seed: ground-truth labels, the canonical detector event stream
+// (compared by digest), and the scored result must be identical.
+func TestScenarioDeterminism(t *testing.T) {
+	for _, sc := range Suite() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			hours := testHours(sc)
+			r1, d1, truth1 := RunTap(sc, 1234, hours, 1)
+			r2, d2, truth2 := RunTap(sc, 1234, hours, 1)
+			if !reflect.DeepEqual(truth1, truth2) {
+				t.Error("ground-truth labels differ between identical-seed runs")
+			}
+			if d1 != d2 {
+				t.Errorf("detector event streams differ: digest %x vs %x", d1, d2)
+			}
+			if stripTiming(r1) != stripTiming(r2) {
+				t.Errorf("scored results differ:\n run1: %+v\n run2: %+v", r1, r2)
+			}
+			if len(truth1) == 0 {
+				t.Error("scenario injected no hosts")
+			}
+			if r1.Packets == 0 {
+				t.Error("scenario generated no packets")
+			}
+		})
+	}
+}
+
+// TestScenarioWorkerInvariance replays every scenario at 1 vs 4
+// detection workers: the sharded detector must produce the byte-for-
+// byte identical canonical event stream, so the scored accuracy cannot
+// depend on parallelism.
+func TestScenarioWorkerInvariance(t *testing.T) {
+	for _, sc := range Suite() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			hours := testHours(sc)
+			r1, d1, truth1 := RunTap(sc, 99, hours, 1)
+			r4, d4, truth4 := RunTap(sc, 99, hours, 4)
+			if !reflect.DeepEqual(truth1, truth4) {
+				t.Error("ground truth differs across worker counts")
+			}
+			if d1 != d4 {
+				t.Errorf("event stream differs across worker counts: digest %x vs %x", d1, d4)
+			}
+			r4.Workers = r1.Workers
+			if stripTiming(r1) != stripTiming(r4) {
+				t.Errorf("scores differ across worker counts:\n w1: %+v\n w4: %+v", r1, r4)
+			}
+		})
+	}
+}
+
+// TestScenarioSeedSensitivity guards against an accidentally ignored
+// seed: different seeds must build different worlds.
+func TestScenarioSeedSensitivity(t *testing.T) {
+	sc, ok := ByName("stealth-subthreshold")
+	if !ok {
+		t.Fatal("suite is missing stealth-subthreshold")
+	}
+	_, d1, truth1 := RunTap(sc, 1, 3, 1)
+	_, d2, truth2 := RunTap(sc, 2, 3, 1)
+	if reflect.DeepEqual(truth1, truth2) {
+		t.Error("different seeds produced identical ground truth")
+	}
+	if d1 == d2 {
+		t.Error("different seeds produced identical event streams")
+	}
+}
+
+// TestScenarioSemantics pins each scenario's designed outcome: the
+// stealth cohort stays invisible to the TRW θ, the botnet waves and
+// diurnal cohorts are caught, and the backscatter storm feeds nothing.
+func TestScenarioSemantics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-span scenario runs")
+	}
+	for _, sc := range Suite() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			r := Run(sc, 42, 0, 1)
+			switch sc.Name {
+			case "stealth-subthreshold":
+				if r.InjectedRecall != 0 {
+					t.Errorf("stealth cohort detected (recall %.3f): sessions are not sub-threshold", r.InjectedRecall)
+				}
+			case "botnet-growth-wave", "diurnal-cycle":
+				if r.InjectedRecall < 0.9 {
+					t.Errorf("injected recall %.3f, want ≥0.9", r.InjectedRecall)
+				}
+			case "backscatter-storm":
+				if r.InjectedFalseFed != 0 {
+					t.Errorf("%d backscatter sources leaked into the feed", r.InjectedFalseFed)
+				}
+			}
+			if r.InjectedFalseFed == 0 && r.ScanPrecision < 0.999 && r.Records > 0 {
+				t.Errorf("scan precision %.3f: background false positives", r.ScanPrecision)
+			}
+		})
+	}
+}

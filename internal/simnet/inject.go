@@ -1,0 +1,86 @@
+package simnet
+
+import (
+	"math/rand"
+
+	"exiot/internal/device"
+	"exiot/internal/packet"
+	"time"
+)
+
+// Window is an exported scan-session interval for injected hosts.
+type Window struct {
+	Start, End time.Time
+}
+
+// InjectSpec describes one adversarial host added to a built world by
+// InjectHost. The host is constructed by the same builder the world's
+// population uses (so its on-wire fingerprint, probe surface, and banner
+// truth are realistic), then the spec's overrides are applied — the
+// pattern buildEmergingInfected set.
+type InjectSpec struct {
+	// Kind selects the builder: KindInfectedIoT, KindNonIoTScanner,
+	// KindMisconfigured, or KindBackscatter.
+	Kind HostKind
+	// Family overrides the malware family (KindInfectedIoT only). When
+	// set with Rate == 0, the rate is re-drawn from the family's range.
+	Family *device.MalwareFamily
+	// Rate, when > 0, pins the Internet-wide scan rate in pps (the
+	// telescope observes Rate/256 of it).
+	Rate float64
+	// Jitter, when > 0, pins the inter-arrival jitter.
+	Jitter float64
+	// Sessions, when non-empty, replaces the builder's scan sessions.
+	Sessions []Window
+	// Salt decorrelates the rng streams of hosts injected from the same
+	// world seed; give every injected host a distinct value.
+	Salt int64
+}
+
+// InjectHost adds one adversarial host to the world and returns its
+// address. Construction is deterministic in (world seed, spec): scenario
+// harnesses rebuild identical worlds from identical specs. The detection
+// pipeline never sees the spec — only the packets.
+func (w *World) InjectHost(spec InjectSpec) packet.IP {
+	var h *Host
+	for tries := int64(0); ; tries++ {
+		// Re-derive the host on the rare address collision with an
+		// existing host (addHost would silently drop the duplicate).
+		rng := rand.New(rand.NewSource(w.cfg.Seed ^ spec.Salt ^ tries<<32))
+		switch spec.Kind {
+		case KindInfectedIoT:
+			h = w.buildInfected(rng)
+			if spec.Family != nil {
+				h.Family = spec.Family
+				h.jitter = spec.Family.Jitter
+				if spec.Rate == 0 {
+					h.rate = spec.Family.RateMin +
+						rng.Float64()*(spec.Family.RateMax-spec.Family.RateMin)
+				}
+			}
+		case KindMisconfigured:
+			h = w.buildMisconfig(rng)
+		case KindBackscatter:
+			h = w.buildBackscatter(rng)
+		default:
+			h = w.buildNonIoT(rng, spec.Kind == KindResearchScanner)
+		}
+		if _, dup := w.byIP[h.IP]; !dup {
+			break
+		}
+	}
+	if spec.Rate > 0 {
+		h.rate = spec.Rate
+	}
+	if spec.Jitter > 0 {
+		h.jitter = spec.Jitter
+	}
+	if len(spec.Sessions) > 0 {
+		h.sessions = h.sessions[:0]
+		for _, win := range spec.Sessions {
+			h.sessions = append(h.sessions, session{start: win.Start, end: win.End})
+		}
+	}
+	w.addHost(h)
+	return h.IP
+}
