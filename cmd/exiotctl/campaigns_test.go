@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func campaignServer(t *testing.T, body string) client {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/api/v1/campaigns" {
+			http.NotFound(w, r)
+			return
+		}
+		if r.Header.Get("X-API-Key") != "test-key" {
+			http.Error(w, `{"error":"missing or invalid API key"}`, http.StatusUnauthorized)
+			return
+		}
+		if ms := r.URL.Query().Get("min_size"); ms != "" && ms != "5" {
+			t.Errorf("unexpected min_size %q", ms)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(body))
+	}))
+	t.Cleanup(srv.Close)
+	return client{base: srv.URL, key: "test-key"}
+}
+
+const trackedBody = `{
+  "count": 2, "tracked": true, "as_of": "2026-08-09T12:00:00Z",
+  "campaigns": [
+    {"id":"C-000001","signature":"23,2323|Mirai-like scanner","tool":"Mirai-like scanner",
+     "ports":[23,2323],"devices":41,"records":180,
+     "countries":{"CN":30,"BR":8,"IN":2,"IR":1},
+     "first_seen":"2026-08-07T02:00:00Z","last_seen":"2026-08-09T12:00:00Z",
+     "status":"active","updates":58},
+    {"id":"C-000002","signature":"8080","ports":[8080],"devices":6,"records":12,
+     "countries":{"BR":6},
+     "first_seen":"2026-08-08T20:00:00Z","last_seen":"2026-08-09T06:00:00Z",
+     "status":"decaying","updates":11}
+  ]
+}`
+
+func TestCampaignsRendersTrackedTable(t *testing.T) {
+	c := campaignServer(t, trackedBody)
+	var out bytes.Buffer
+	if err := runCampaigns(c, []string{"-min-size", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "2 campaign(s) (tracked)") {
+		t.Errorf("missing header: %q", got)
+	}
+	for _, want := range []string{
+		"C-000001", "23,2323", "Mirai-like scanner", "CN:30,BR:8,IN:2",
+		"2026-08-07 02:00", "active",
+		"C-000002", "8080", "decaying",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("table missing %q:\n%s", want, got)
+		}
+	}
+	// Tracked rows render a lifetime, never a dash.
+	if strings.Contains(strings.SplitN(got, "C-000001", 2)[1], "\t-\t") {
+		t.Errorf("tracked row has empty cells:\n%s", got)
+	}
+}
+
+func TestCampaignsRendersLegacyTable(t *testing.T) {
+	legacy := `{"count":1,"campaigns":[
+	  {"signature":"23","ports":[23],"devices":9,"records":30,"countries":{"CN":9}}]}`
+	c := campaignServer(t, legacy)
+	var out bytes.Buffer
+	if err := runCampaigns(c, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "1 campaign(s) (one-shot inference)") {
+		t.Errorf("missing legacy header: %q", got)
+	}
+	// Legacy rows have no ID or lifetime: dashes, not blanks or zero times.
+	if !strings.Contains(got, "-") || strings.Contains(got, "0001-01-01") {
+		t.Errorf("legacy row rendered zero values:\n%s", got)
+	}
+}
+
+func TestCampaignsJSONPassthrough(t *testing.T) {
+	c := campaignServer(t, trackedBody)
+	var out bytes.Buffer
+	// -json uses the pretty-print path to stdout; just prove it parses
+	// flags and hits the server without the table renderer interfering.
+	if err := runCampaigns(c, []string{"-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCampaignsEmpty(t *testing.T) {
+	c := campaignServer(t, `{"count":0,"tracked":true,"campaigns":[]}`)
+	var out bytes.Buffer
+	if err := runCampaigns(c, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "0 campaign(s)") {
+		t.Errorf("empty table output: %q", out.String())
+	}
+}
+
+func TestCampaignsServerError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+	}))
+	t.Cleanup(srv.Close)
+	var out bytes.Buffer
+	err := runCampaigns(client{base: srv.URL, key: "k"}, nil, &out)
+	if err == nil || !strings.Contains(err.Error(), "500") {
+		t.Fatalf("err = %v, want 500 surface", err)
+	}
+}

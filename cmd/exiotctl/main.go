@@ -91,7 +91,7 @@ func run(server, key string, args []string) error {
 		}
 		return c.get("/api/v1/records/"+args[1]+"/why", nil)
 	case "campaigns":
-		return c.get("/api/v1/campaigns", nil)
+		return runCampaigns(c, args[1:], os.Stdout)
 	case "export":
 		return c.get("/api/v1/export", nil)
 	case "stats":
@@ -245,6 +245,11 @@ type client struct {
 	key  string
 }
 
+// newFlagSet builds a subcommand flag set with the standard exit mode.
+func newFlagSet(name string) *flag.FlagSet {
+	return flag.NewFlagSet(name, flag.ExitOnError)
+}
+
 func (c client) get(path string, q url.Values) error {
 	u := c.base + path
 	if len(q) > 0 {
@@ -255,6 +260,33 @@ func (c client) get(path string, q url.Values) error {
 		return err
 	}
 	return c.do(req)
+}
+
+// getRaw fetches a path and returns the response body for subcommands
+// that render their own output instead of pretty-printing JSON.
+func (c client) getRaw(path string, q url.Values) ([]byte, error) {
+	u := c.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("X-API-Key", c.key)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 400 {
+		return nil, fmt.Errorf("server returned %s: %s", resp.Status, raw)
+	}
+	return raw, nil
 }
 
 func (c client) post(path string, body []byte) error {

@@ -31,6 +31,8 @@ import (
 	"time"
 
 	"exiot/internal/api"
+	"exiot/internal/campaign"
+	"exiot/internal/console"
 	"exiot/internal/durable"
 	"exiot/internal/feedserve"
 	"exiot/internal/notify"
@@ -74,8 +76,13 @@ func main() {
 
 		feedCache   = flag.Bool("feed-cache", true, "serve /records and /export from the snapshot-backed feed cache (cursor pagination, ETags, SSE deltas)")
 		feedRebuild = flag.Duration("feed-rebuild-every", 2*time.Second, "minimum interval between feed snapshot/export rebuilds")
+
+		consoleOn = flag.Bool("console", false, "serve the operator dashboard at /console/ on the telemetry address (requires -telemetry-addr)")
 	)
 	flag.Parse()
+	if *consoleOn && *telAddr == "" {
+		log.Fatal("-console requires -telemetry-addr (the dashboard rides the operator mux)")
+	}
 	trace.Default().SetSampleEvery(*traceSample)
 	trace.Default().SetSlowThreshold(*traceSlow)
 	dcfg := pipeline.DurableConfig{
@@ -89,7 +96,7 @@ func main() {
 	}
 	rcfg := replayConfig{path: *replayIn, warp: *replayWrp}
 	if err := run(*listen, *shards, *apiAddr, *apiKey, *simulate, *hours, *seed,
-		*infected, *nonIoT, *research, *misconfig, *backscat, *whois, *modelDir, *workers, *telAddr, dcfg, fcfg, rcfg); err != nil {
+		*infected, *nonIoT, *research, *misconfig, *backscat, *whois, *modelDir, *workers, *telAddr, *consoleOn, dcfg, fcfg, rcfg); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -108,17 +115,19 @@ type feedCacheConfig struct {
 
 func run(listen string, shards int, apiAddr, apiKey string, simulate bool, hours int, seed int64,
 	infected, nonIoT, research, misconfig, backscat int, whois bool, modelDir string, workers int, telAddr string,
-	dcfg pipeline.DurableConfig, fcfg feedCacheConfig, rcfg replayConfig) error {
+	consoleOn bool, dcfg pipeline.DurableConfig, fcfg feedCacheConfig, rcfg replayConfig) error {
+	var opMux *http.ServeMux
 	if telAddr != "" {
 		// The operator mux is separate from the public API: it carries
 		// pprof and needs no key. The API's own /metrics and /healthz stay
 		// available either way.
-		mux := telemetry.NewMux(telemetry.Default(), telemetry.DefaultHealth(), true)
+		opMux = telemetry.NewMux(telemetry.Default(), telemetry.DefaultHealth(), true)
 		// The trace store rides the operator mux: /traces (list) and
-		// /traces/{id} (span detail).
-		trace.Default().Store().Register(mux)
+		// /traces/{id} (span detail). The console registers later, once
+		// the pipeline exists (ServeMux registration is concurrency-safe).
+		trace.Default().Store().Register(opMux)
 		go func() {
-			if err := http.ListenAndServe(telAddr, mux); err != nil {
+			if err := http.ListenAndServe(telAddr, opMux); err != nil {
 				log.Printf("telemetry listener: %v", err)
 			}
 		}()
@@ -345,11 +354,41 @@ func run(listen string, shards int, apiAddr, apiKey string, simulate bool, hours
 
 	apiSrv := api.NewServer(source, source.Notifier())
 	apiSrv.AddKey(apiKey, "cli-provisioned")
+	var cache *feedserve.Cache
 	if fcfg.enabled {
-		cache := source.NewFeedCache(feedserve.Config{RebuildEvery: fcfg.rebuildEvery})
+		cache = source.NewFeedCache(feedserve.Config{RebuildEvery: fcfg.rebuildEvery})
+		apiSrv.SetFeedCache(cache)
+	}
+	if consoleOn {
+		// The campaign tracker feeds both the console and /api/v1/campaigns.
+		// It updates from feed-cache rebuilds when the cache is on; the
+		// console's own tick loop covers the cache-off case.
+		tracker := campaign.NewTracker(campaign.TrackerConfig{})
+		apiSrv.SetCampaignTracker(tracker)
+		if cache != nil {
+			// Rebuilds refresh the tracker from here on; the snapshot the
+			// cache built at construction seeds it immediately.
+			cache.OnRebuild(func(s *feedserve.Snapshot) {
+				tracker.Update(s.Records(), time.Now())
+			})
+			tracker.Update(cache.Current().Records(), time.Now())
+		}
+		con := console.New(console.Config{
+			Source:  source,
+			Why:     source,
+			Traces:  trace.Default().Store(),
+			Health:  telemetry.DefaultHealth(),
+			Tracker: tracker,
+			Feed:    cache,
+		})
+		con.Register(opMux)
+		con.Start()
+		defer con.Close()
+		fmt.Printf("operator console on http://%s/console/\n", telAddr)
+	}
+	if cache != nil {
 		cache.Start()
 		defer cache.Close()
-		apiSrv.SetFeedCache(cache)
 		snap := cache.Current()
 		fmt.Printf("feed cache on: %d records, export %d B raw / %d B gzip, rebuild every %s\n",
 			snap.Len(), len(snap.ExportNDJSON()), len(snap.ExportGzip()), fcfg.rebuildEvery)

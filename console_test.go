@@ -1,0 +1,252 @@
+// Cross-package inertness proof for the operator console: a full
+// simulated day with the console enabled — feed cache rebuilding, the
+// campaign tracker riding the rebuild hook, the stats ring ticking, and
+// a polling client hammering every console endpoint throughout the run —
+// must export NDJSON byte-identical to the console-disabled run, and the
+// untraced packet path must stay at zero allocations per packet with a
+// live console in the process. The console reads counters the pipeline
+// already maintains; it never writes to the feed or the hot path.
+package exiot_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"exiot/internal/campaign"
+	"exiot/internal/console"
+	"exiot/internal/feedserve"
+	"exiot/internal/packet"
+	"exiot/internal/trw"
+)
+
+const consoleProofHours = 24
+
+func consoleBaselineRun(t *testing.T, seed int64) feedFingerprint {
+	t.Helper()
+	l, w := durableProofLocal(t, seed, 4, "")
+	driveProofHours(l, w, 0, consoleProofHours)
+	l.Finish(w.Start().Add(consoleProofHours * time.Hour))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return fingerprintFeed(t, l.Server())
+}
+
+func TestConsoleFeedEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hour pipeline runs")
+	}
+	const seed = 4242
+	base := consoleBaselineRun(t, seed)
+	if base.ndjson == "" {
+		t.Fatal("baseline run produced an empty feed; the proof would be vacuous")
+	}
+
+	// The console-enabled run: same seed and worker count, but with the
+	// full operator surface live — hourly cache rebuilds feeding the
+	// campaign tracker, a stats tick per hour, and a client polling the
+	// dashboard and every JSON endpoint while hours process.
+	l, w := durableProofLocal(t, seed, 4, "")
+	srv := l.Server()
+	cache := srv.NewFeedCache(feedserve.Config{})
+	defer cache.Close()
+	tracker := campaign.NewTracker(campaign.TrackerConfig{})
+	cache.OnRebuild(func(s *feedserve.Snapshot) {
+		tracker.Update(s.Records(), s.BuiltAt())
+	})
+
+	con := console.New(console.Config{
+		Source:  srv,
+		Why:     srv,
+		Tracker: tracker,
+		Feed:    cache,
+	})
+	mux := http.NewServeMux()
+	con.Register(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	paths := []string{
+		"/console/",
+		"/console/api/overview",
+		"/console/api/traces",
+		"/console/api/campaigns",
+		"/console/api/record/203.0.113.1",
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var pollMu sync.Mutex
+	polls := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Get(ts.URL + paths[i%len(paths)])
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				pollMu.Lock()
+				polls++
+				pollMu.Unlock()
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	for h := 0; h < consoleProofHours; h++ {
+		hour := w.Start().Add(time.Duration(h) * time.Hour)
+		l.ProcessHour(w.GenerateHour(hour), hour)
+		cache.Rebuild()
+		con.Tick(hour)
+	}
+	l.Finish(w.Start().Add(consoleProofHours * time.Hour))
+	cache.Rebuild()
+	close(stop)
+	wg.Wait()
+	if polls == 0 {
+		t.Fatal("the polling client never completed a request; the proof would be vacuous")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fp := fingerprintFeed(t, srv)
+	if fp.ndjson != base.ndjson {
+		t.Fatal("NDJSON export differs between console-enabled and console-disabled runs")
+	}
+	if string(cache.Current().ExportNDJSON()) != base.ndjson {
+		t.Fatal("snapshot export differs from the console-disabled run")
+	}
+
+	// The console the client was polling saw real data: an overview with
+	// a populated volume ring and a tracked campaign set with stable IDs.
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d: %s", path, resp.StatusCode, body)
+		}
+		return body
+	}
+	var ov struct {
+		Volume []struct {
+			Records float64 `json:"records"`
+		} `json:"volume"`
+		Feed *struct {
+			Records int `json:"records"`
+		} `json:"feed"`
+	}
+	if err := json.Unmarshal(get("/console/api/overview"), &ov); err != nil {
+		t.Fatal(err)
+	}
+	if len(ov.Volume) != consoleProofHours {
+		t.Fatalf("volume ring has %d points, want %d", len(ov.Volume), consoleProofHours)
+	}
+	var total float64
+	for _, p := range ov.Volume {
+		total += p.Records
+	}
+	if total == 0 {
+		t.Fatal("volume ring recorded no feed records across a full day")
+	}
+	if ov.Feed == nil || ov.Feed.Records == 0 {
+		t.Fatal("overview reports no feed snapshot")
+	}
+	var camps struct {
+		Tracked   bool `json:"tracked"`
+		Campaigns []struct {
+			ID string `json:"id"`
+		} `json:"campaigns"`
+	}
+	if err := json.Unmarshal(get("/console/api/campaigns"), &camps); err != nil {
+		t.Fatal(err)
+	}
+	if !camps.Tracked {
+		t.Fatal("campaigns endpoint is not in tracked mode")
+	}
+	for _, c := range camps.Campaigns {
+		if !strings.HasPrefix(c.ID, "C-") {
+			t.Fatalf("campaign carries malformed ID %q", c.ID)
+		}
+	}
+}
+
+// TestConsolePacketPathZeroAlloc pins the other half of the inertness
+// bar: with a console constructed and actively sampling in the process,
+// the untraced detector hot loop still never touches the heap. The
+// console reads registry atomics on its own tick; nothing it does adds
+// work — or allocations — to per-packet processing.
+func TestConsolePacketPathZeroAlloc(t *testing.T) {
+	con := console.New(console.Config{})
+	now := time.Date(2021, 9, 1, 10, 0, 0, 0, time.UTC)
+	con.Tick(now.Add(-2 * time.Second))
+	con.Tick(now.Add(-time.Second)) // ring primed: deltas are live
+
+	cfg := trw.Config{DetectionThreshold: 4, SampleSize: 2, MinDuration: time.Minute}
+	d := trw.NewDetector(cfg, func(trw.Event) {})
+
+	syn := func(src packet.IP, ts time.Time, dstPort uint16) packet.Packet {
+		p := packet.Packet{
+			Timestamp: ts,
+			Proto:     packet.TCP,
+			SrcIP:     src,
+			DstIP:     packet.MustParseIP("10.1.2.3"),
+			SrcPort:   40000,
+			DstPort:   dstPort,
+			Flags:     packet.FlagSYN,
+			TTL:       48,
+		}
+		p.Normalize()
+		return p
+	}
+	scanner := packet.MustParseIP("203.0.113.5")
+	counter := packet.MustParseIP("203.0.113.6")
+
+	// Warm the detector exactly as the trw steady-state pin does: drive
+	// the scanner through detection and its sample, then settle both
+	// sources into one quiet second.
+	warm := now.Add(-10 * time.Minute)
+	for i := 0; i < 8; i++ {
+		p := syn(scanner, warm.Add(time.Duration(i)*20*time.Second), 23)
+		d.Process(&p)
+	}
+	pc := syn(counter, now, 23)
+	d.Process(&pc)
+	ps := syn(scanner, now, 2323)
+	d.Process(&ps)
+
+	pkts := []packet.Packet{
+		syn(scanner, now, 23),
+		syn(counter, now, 23),
+		syn(scanner, now, 2323),
+		syn(counter, now, 2323),
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := range pkts {
+			d.Process(&pkts[i])
+		}
+	})
+	con.Tick(now) // the console keeps sampling after; still inert
+	if allocs != 0 {
+		t.Fatalf("packet path allocated %.2f allocs/run with a live console, want 0", allocs)
+	}
+}

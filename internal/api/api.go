@@ -143,6 +143,14 @@ type WhySource interface {
 	Why(ip string) (WhyReport, bool)
 }
 
+// CampaignTracker is the cross-hour campaign view (implemented by
+// campaign.Tracker): stable IDs, lifetimes, and trajectories, versus the
+// anonymous one-shot inference the API falls back to without one.
+type CampaignTracker interface {
+	Campaigns() []campaign.Tracked
+	LastUpdate() time.Time
+}
+
 // Server is the authenticated REST API server.
 type Server struct {
 	source   Source
@@ -153,6 +161,9 @@ type Server struct {
 	// cache is the optional snapshot-backed feed read path (nil = every
 	// read walks the document store, the pre-distribution behavior).
 	cache *feedserve.Cache
+	// tracker is the optional cross-hour campaign view (nil = one-shot
+	// inference per request, the legacy behavior).
+	tracker CampaignTracker
 
 	metrics *telemetry.Registry
 	health  *telemetry.Health
@@ -253,6 +264,23 @@ func (s *Server) feedCache() *feedserve.Cache {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.cache
+}
+
+// SetCampaignTracker installs the cross-hour campaign view behind
+// /api/v1/campaigns. With a tracker, the endpoint serves tracked
+// campaigns — stable IDs, first/last seen, status, history — instead of
+// re-running one-shot inference per request.
+func (s *Server) SetCampaignTracker(t CampaignTracker) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracker = t
+}
+
+// campaignTracker returns the installed tracker, or nil.
+func (s *Server) campaignTracker() CampaignTracker {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tracker
 }
 
 // SetTelemetry overrides the registry and health tracker behind /metrics
@@ -474,6 +502,10 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 		}
 		minSize = n
 	}
+	if tr := s.campaignTracker(); tr != nil {
+		s.serveTrackedCampaigns(w, tr, minSize)
+		return
+	}
 	records := s.source.Records(Query{Label: feed.LabelIoT, Limit: 0})
 	campaigns := campaign.Infer(records, campaign.Config{MinSize: minSize})
 	type entry struct {
@@ -497,6 +529,60 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"count": len(out), "campaigns": out})
+}
+
+// TrackedCampaignJSON is one tracked campaign on the wire: the legacy
+// entry fields plus the identity and lifetime the tracker maintains.
+type TrackedCampaignJSON struct {
+	ID        string                  `json:"id"`
+	Signature string                  `json:"signature"`
+	Tool      string                  `json:"tool,omitempty"`
+	Ports     []uint16                `json:"ports"`
+	Devices   int                     `json:"devices"`
+	Records   int                     `json:"records"`
+	Countries map[string]int          `json:"countries"`
+	FirstSeen time.Time               `json:"first_seen"`
+	LastSeen  time.Time               `json:"last_seen"`
+	Status    string                  `json:"status"` // "active" | "decaying"
+	Updates   int                     `json:"updates"`
+	History   []campaign.HistoryPoint `json:"history,omitempty"`
+}
+
+// serveTrackedCampaigns renders the cross-hour campaign table.
+func (s *Server) serveTrackedCampaigns(w http.ResponseWriter, tr CampaignTracker, minSize int) {
+	asOf := tr.LastUpdate()
+	tracked := tr.Campaigns()
+	out := make([]TrackedCampaignJSON, 0, len(tracked))
+	for i := range tracked {
+		c := &tracked[i]
+		if c.Size() < minSize {
+			continue
+		}
+		status := "active"
+		if !c.Active(asOf) {
+			status = "decaying"
+		}
+		out = append(out, TrackedCampaignJSON{
+			ID:        c.ID,
+			Signature: c.Signature.String(),
+			Tool:      c.Signature.Tool,
+			Ports:     c.Signature.Ports,
+			Devices:   c.Size(),
+			Records:   c.Records,
+			Countries: c.Countries,
+			FirstSeen: c.FirstSeen,
+			LastSeen:  c.LastSeen,
+			Status:    status,
+			Updates:   c.Updates,
+			History:   c.History,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":     len(out),
+		"tracked":   true,
+		"as_of":     asOf,
+		"campaigns": out,
+	})
 }
 
 // handleTraffic serves the hourly telescope traffic statistics when the

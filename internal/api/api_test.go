@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"exiot/internal/campaign"
 	"exiot/internal/feed"
 	"exiot/internal/notify"
 )
@@ -419,5 +420,64 @@ func TestTrafficEndpoint(t *testing.T) {
 	}
 	if out.Count != 1 || out.Hours[0].Total != 1000 || out.Hours[0].TopPorts[23] != 600 {
 		t.Errorf("traffic payload = %+v", out)
+	}
+}
+
+func TestCampaignsTrackedMode(t *testing.T) {
+	ts, src, _ := testServer(t)
+	for i := 0; i < 5; i++ {
+		src.records = append(src.records, feed.Record{
+			IP:          fmt.Sprintf("9.9.9.%d", i+1),
+			Label:       feed.LabelIoT,
+			CountryCode: "CN",
+			TargetPorts: map[uint16]int{23: 180, 2323: 20},
+			Tool:        "Mirai-like scanner",
+		})
+	}
+	// Find the server the httptest wrapper serves so we can install the
+	// tracker: testServer returns only the httptest handle, so build a
+	// tracker-backed server directly instead.
+	s := NewServer(src, nil)
+	s.AddKey("secret-token", "test-client")
+	tracker := campaign.NewTracker(campaign.TrackerConfig{})
+	for i := 0; i < 3; i++ {
+		tracker.Update(src.Records(Query{Label: feed.LabelIoT}), t0.Add(time.Duration(i)*time.Hour))
+	}
+	s.SetCampaignTracker(tracker)
+	ts2 := httptest.NewServer(s)
+	t.Cleanup(ts2.Close)
+
+	resp, body := get(t, ts2, "/api/v1/campaigns", "secret-token")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Count     int                   `json:"count"`
+		Tracked   bool                  `json:"tracked"`
+		Campaigns []TrackedCampaignJSON `json:"campaigns"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Tracked || out.Count == 0 {
+		t.Fatalf("tracked mode not served: %s", body)
+	}
+	c := out.Campaigns[0]
+	if c.ID != "C-000001" || c.Status != "active" || c.Updates != 3 {
+		t.Errorf("tracked campaign = %+v", c)
+	}
+	if c.FirstSeen != t0 || c.LastSeen != t0.Add(2*time.Hour) {
+		t.Errorf("lifetime = %v..%v", c.FirstSeen, c.LastSeen)
+	}
+
+	// min_size still filters in tracked mode.
+	resp, body = get(t, ts2, "/api/v1/campaigns?min_size=100", "secret-token")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"count":0`) {
+		t.Errorf("tracked min_size filter: %d %s", resp.StatusCode, body)
+	}
+	// The untracked server still answers with the legacy shape.
+	resp, body = get(t, ts, "/api/v1/campaigns", "secret-token")
+	if resp.StatusCode != http.StatusOK || strings.Contains(string(body), `"tracked":true`) {
+		t.Errorf("legacy endpoint changed shape: %s", body)
 	}
 }

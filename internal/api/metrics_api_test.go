@@ -20,6 +20,7 @@ import (
 
 	// Imported for their metric-registration side effects: every stage
 	// family must exist before /metrics is scraped, exactly as in exiotd.
+	_ "exiot/internal/console"
 	_ "exiot/internal/pcapio"
 	_ "exiot/internal/pipeline"
 	_ "exiot/internal/replay"

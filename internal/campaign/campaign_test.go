@@ -3,6 +3,7 @@ package campaign
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"exiot/internal/feed"
@@ -176,6 +177,97 @@ func TestJaccard(t *testing.T) {
 	for _, c := range cases {
 		if got := jaccard(c.a, c.b); got != c.want {
 			t.Errorf("jaccard(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestInferEmptyRecordSet(t *testing.T) {
+	if got := Infer(nil, Config{}); got != nil {
+		t.Errorf("Infer(nil) = %v, want nil", sigs(got))
+	}
+	if got := Infer([]feed.Record{}, Config{}); got != nil {
+		t.Errorf("Infer(empty) = %v, want nil", sigs(got))
+	}
+}
+
+func TestInferSingleRecordBelowMinSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// One lone scanner never makes a campaign at the default MinSize 3 —
+	// but does at MinSize 1, proving the filter (not the grouping) drops it.
+	records := []feed.Record{familyRecord(rng, "8.8.0.1", map[uint16]int{23: 200}, "", "CN")}
+	if got := Infer(records, Config{}); len(got) != 0 {
+		t.Errorf("singleton campaign survived MinSize 3: %v", sigs(got))
+	}
+	got := Infer(records, Config{MinSize: 1})
+	if len(got) != 1 || got[0].Size() != 1 {
+		t.Fatalf("MinSize 1 should keep the singleton: %+v", got)
+	}
+}
+
+func TestMergeJaccardBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	build := func(portsA, portsB map[uint16]int) []feed.Record {
+		var records []feed.Record
+		for i := 0; i < 5; i++ {
+			records = append(records, familyRecord(rng, fmt.Sprintf("9.9.0.%d", i+1), portsA, "", "CN"))
+			records = append(records, familyRecord(rng, fmt.Sprintf("9.9.1.%d", i+1), portsB, "", "CN"))
+		}
+		return records
+	}
+	// {23,2323} vs {23}: jaccard exactly 0.5 — the >= threshold merges it.
+	at := build(map[uint16]int{23: 150, 2323: 50}, map[uint16]int{23: 200})
+	if got := Infer(at, Config{MergeJaccard: 0.5}); len(got) != 1 {
+		t.Errorf("jaccard == threshold must merge: %v", sigs(got))
+	}
+	// {23,2323,5555} vs {23}: jaccard 1/3 — below 0.5, stays split.
+	below := build(map[uint16]int{23: 100, 2323: 50, 5555: 50}, map[uint16]int{23: 200})
+	if got := Infer(below, Config{MergeJaccard: 0.5}); len(got) != 2 {
+		t.Errorf("jaccard below threshold must not merge: %v", sigs(got))
+	}
+}
+
+func TestSignaturePortShareTies(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	// Two ports tied exactly at the 10% threshold share: both stay, and
+	// the signature lists them ascending regardless of map iteration.
+	rec := familyRecord(rng, "10.0.0.1", map[uint16]int{2323: 20, 23: 160, 5555: 20}, "", "CN")
+	for i := 0; i < 20; i++ { // map order varies per run; pin across iterations
+		sig, ok := signatureOf(&rec, 0.10)
+		if !ok {
+			t.Fatal("no signature")
+		}
+		want := "23,2323,5555"
+		if sig.String() != want {
+			t.Fatalf("tied-share signature = %q, want %q", sig.String(), want)
+		}
+	}
+	// Just under the threshold on one of the tied ports: it drops out.
+	rec2 := familyRecord(rng, "10.0.0.2", map[uint16]int{2323: 19, 23: 161, 5555: 20}, "", "CN")
+	sig, _ := signatureOf(&rec2, 0.10)
+	if sig.String() != "23,5555" {
+		t.Errorf("sub-threshold port kept: %q", sig.String())
+	}
+}
+
+func TestInferDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	var records []feed.Record
+	for i := 0; i < 30; i++ {
+		records = append(records, familyRecord(rng, fmt.Sprintf("11.0.%d.%d", i/250, i%250+1),
+			miraiPorts(rng), "Mirai-like scanner", "CN"))
+	}
+	for i := 0; i < 12; i++ {
+		records = append(records, familyRecord(rng, fmt.Sprintf("11.1.%d.%d", i/250, i%250+1),
+			httpPorts(rng), "", "BR"))
+	}
+	for i := 0; i < 12; i++ {
+		records = append(records, familyRecord(rng, fmt.Sprintf("11.2.%d.%d", i/250, i%250+1),
+			map[uint16]int{5555: 200}, "", "IN"))
+	}
+	first := Infer(records, Config{})
+	for run := 0; run < 10; run++ {
+		if got := Infer(records, Config{}); !reflect.DeepEqual(got, first) {
+			t.Fatalf("run %d: same records produced different campaigns:\n%+v\nvs\n%+v", run, got, first)
 		}
 	}
 }

@@ -92,6 +92,7 @@ type Cache struct {
 	lastSeq     uint64
 	lastRebuild time.Time
 	subs        map[*Subscriber]struct{}
+	onRebuild   []func(*Snapshot)
 }
 
 // New builds a cache over the feed collection, attaches its
@@ -175,10 +176,32 @@ func (c *Cache) Close() {
 	})
 }
 
+// OnRebuild registers fn to run after every successful snapshot swap
+// with the new snapshot. Hooks run outside the cache's rebuild lock (a
+// hook may subscribe or trigger another rebuild without deadlocking) on
+// the rebuilding goroutine, so a slow hook delays subsequent rebuilds
+// but never the snapshot read path. Register hooks before Start.
+func (c *Cache) OnRebuild(fn func(*Snapshot)) {
+	c.mu.Lock()
+	c.onRebuild = append(c.onRebuild, fn)
+	c.mu.Unlock()
+}
+
 // Rebuild synchronously exports the collection, builds a fresh
-// snapshot, swaps it in, and broadcasts the delta to SSE subscribers.
-// Returns the new snapshot. Concurrent callers are serialized.
+// snapshot, swaps it in, broadcasts the delta to SSE subscribers, and
+// fires the OnRebuild hooks. Returns the new snapshot. Concurrent
+// callers are serialized.
 func (c *Cache) Rebuild() *Snapshot {
+	snap, hooks := c.rebuild()
+	if snap != nil {
+		for _, fn := range hooks {
+			fn(snap)
+		}
+	}
+	return snap
+}
+
+func (c *Cache) rebuild() (*Snapshot, []func(*Snapshot)) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	// Clear before exporting: a mutation racing the export re-marks the
@@ -195,7 +218,7 @@ func (c *Cache) Rebuild() *Snapshot {
 		// feed.Record always marshals; treat failure as "keep serving
 		// the previous snapshot" rather than poisoning the read path.
 		c.dirty.Store(true)
-		return prev
+		return prev, nil
 	}
 	c.snap.Store(snap)
 	c.lastRebuild = time.Now()
@@ -210,7 +233,7 @@ func (c *Cache) Rebuild() *Snapshot {
 	if len(c.subs) > 0 {
 		c.broadcastLocked(snap, prevLast)
 	}
-	return snap
+	return snap, c.onRebuild
 }
 
 // broadcastLocked pushes every item newer than prevLast to each

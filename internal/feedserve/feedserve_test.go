@@ -236,3 +236,32 @@ func TestCloseDisconnectsSubscribers(t *testing.T) {
 		t.Fatal("subscriber channel not closed on Close")
 	}
 }
+
+func TestOnRebuildHook(t *testing.T) {
+	coll, c, ids := newCache(t, 2)
+
+	var calls []int
+	c.OnRebuild(func(s *Snapshot) { calls = append(calls, s.Len()) })
+
+	// Hook sees each successful rebuild's snapshot.
+	c.Rebuild()
+	coll.Insert(t0, rec("z.example", true))
+	c.Rebuild()
+	if len(calls) != 2 || calls[0] != 2 || calls[1] != 3 {
+		t.Fatalf("hook calls = %v, want [2 3]", calls)
+	}
+
+	// Records() mirrors the snapshot's decoded items in export order.
+	recs := c.Current().Records()
+	if len(recs) != 3 || recs[2].IP != "z.example" {
+		t.Fatalf("Records() = %d entries, last %q", len(recs), recs[len(recs)-1].IP)
+	}
+
+	// A hook may call back into the cache without deadlocking.
+	c.OnRebuild(func(s *Snapshot) { _ = c.Current() })
+	coll.Delete(ids[0])
+	c.Rebuild()
+	if got := calls[len(calls)-1]; got != 2 {
+		t.Fatalf("hook after removal saw %d records, want 2", got)
+	}
+}

@@ -61,6 +61,16 @@ type Snapshot struct {
 // Len returns the number of records in the snapshot.
 func (s *Snapshot) Len() int { return len(s.items) }
 
+// Records copies the snapshot's decoded records, in export order — the
+// input shape analysis passes (campaign tracking, say) want.
+func (s *Snapshot) Records() []feed.Record {
+	out := make([]feed.Record, len(s.items))
+	for i := range s.items {
+		out[i] = s.items[i].Rec
+	}
+	return out
+}
+
 // Items returns the records in insertion order. The slice is shared and
 // must not be mutated.
 func (s *Snapshot) Items() []Item { return s.items }

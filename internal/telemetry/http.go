@@ -16,6 +16,28 @@ func MetricsHandler(r *Registry) http.Handler {
 	})
 }
 
+// MetricsJSON is the GET /metrics.json payload: every registered
+// family with live series values and histogram quantiles, stamped with
+// the render time.
+type MetricsJSON struct {
+	GeneratedAt time.Time        `json:"generated_at"`
+	Families    []FamilySnapshot `json:"families"`
+}
+
+// MetricsJSONHandler serves the registry as structured JSON
+// (GET /metrics.json): the same state /metrics exposes, but typed —
+// counters and gauges as numbers, histograms with cumulative buckets
+// and p50/p90/p99 estimates — for dashboards and tooling that would
+// otherwise have to parse the Prometheus text format.
+func MetricsJSONHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetEscapeHTML(false)
+		_ = enc.Encode(MetricsJSON{GeneratedAt: time.Now(), Families: r.Export()})
+	})
+}
+
 // HealthzHandler serves the health report as JSON: HTTP 200 while every
 // started component beats within its window, 503 once any stalls.
 func HealthzHandler(h *Health) http.Handler {
@@ -33,12 +55,14 @@ func HealthzHandler(h *Health) http.Handler {
 	})
 }
 
-// NewMux builds the operator-facing telemetry mux: /metrics, /healthz,
-// and (optionally) the net/http/pprof handlers under /debug/pprof/.
-// exiotd serves this on -telemetry-addr, separate from the public API.
+// NewMux builds the operator-facing telemetry mux: /metrics,
+// /metrics.json, /healthz, and (optionally) the net/http/pprof handlers
+// under /debug/pprof/. exiotd serves this on -telemetry-addr, separate
+// from the public API.
 func NewMux(r *Registry, h *Health, withPprof bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("GET /metrics", MetricsHandler(r))
+	mux.Handle("GET /metrics.json", MetricsJSONHandler(r))
 	mux.Handle("GET /healthz", HealthzHandler(h))
 	if withPprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -173,6 +173,38 @@ func (s *Store) List() []Summary {
 	return out
 }
 
+// SlowEntry is one tail-retained trace in a stage's slowest-N list.
+type SlowEntry struct {
+	// WorkNS is the work time of this flow's slowest span in the stage.
+	WorkNS int64 `json:"work_ns"`
+	// Trace is the full flow the span belongs to.
+	Trace Detail `json:"trace"`
+}
+
+// SlowestByStage returns, per stage, up to n tail-retained traces sorted
+// slowest first. n <= 0 returns every retained entry. This is the
+// console's "slowest traces" panel: the worst flows the pipeline has
+// ever processed per stage, regardless of ring rotation.
+func (s *Store) SlowestByStage(n int) map[string][]SlowEntry {
+	s.slowMu.Lock()
+	defer s.slowMu.Unlock()
+	out := make(map[string][]SlowEntry, len(s.slowest))
+	for stage, entries := range s.slowest {
+		limit := len(entries)
+		if n > 0 && n < limit {
+			limit = n
+		}
+		list := make([]SlowEntry, 0, limit)
+		// entries ascend by work time; emit slowest first.
+		for i := len(entries) - 1; i >= len(entries)-limit; i-- {
+			e := entries[i]
+			list = append(list, SlowEntry{WorkNS: e.work.Nanoseconds(), Trace: e.c.detail()})
+		}
+		out[stage] = list
+	}
+	return out
+}
+
 // Summary is the /traces list entry for one completed trace.
 type Summary struct {
 	ID          string `json:"id"`

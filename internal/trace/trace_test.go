@@ -268,3 +268,45 @@ func BenchmarkTraceOverhead(b *testing.B) {
 		}
 	})
 }
+
+func TestSlowestByStage(t *testing.T) {
+	store := NewStore(64, 3)
+	base := time.Now()
+	for i := 1; i <= 10; i++ {
+		f := &Flow{ID: ID(i), IP: "ip", Kind: "batch", Start: base}
+		f.SpanAt("probe", base, base, base.Add(time.Duration(i)*time.Millisecond))
+		if i%2 == 0 {
+			f.SpanAt("classify", base, base, base.Add(time.Duration(i)*time.Microsecond))
+		}
+		store.Add(f, base.Add(time.Duration(i)*time.Millisecond))
+	}
+
+	slow := store.SlowestByStage(2)
+	probe := slow["probe"]
+	if len(probe) != 2 {
+		t.Fatalf("probe entries = %d, want 2", len(probe))
+	}
+	// Slowest first: flows 10 then 9.
+	if probe[0].WorkNS != int64(10*time.Millisecond) || probe[1].WorkNS != int64(9*time.Millisecond) {
+		t.Fatalf("probe order = %d/%d ns, want 10ms/9ms", probe[0].WorkNS, probe[1].WorkNS)
+	}
+	if probe[0].Trace.ID != ID(10).String() {
+		t.Errorf("slowest probe trace = %s, want flow 10", probe[0].Trace.ID)
+	}
+	if len(probe[0].Trace.Spans) == 0 {
+		t.Error("slow entry carries no span breakdown")
+	}
+	if got := len(slow["classify"]); got != 2 {
+		t.Errorf("classify entries = %d, want 2", got)
+	}
+
+	// n <= 0: everything retained (slowPer caps at 3).
+	all := store.SlowestByStage(0)
+	if len(all["probe"]) != 3 {
+		t.Errorf("uncapped probe entries = %d, want 3 (retention bound)", len(all["probe"]))
+	}
+	// Asking beyond retention is clamped, not a panic.
+	if got := store.SlowestByStage(99); len(got["probe"]) != 3 {
+		t.Errorf("overask probe entries = %d, want 3", len(got["probe"]))
+	}
+}
